@@ -1,0 +1,61 @@
+// Command btadt runs the paper-reproduction experiments: every figure
+// and table of "Blockchain Abstract Data Type" regenerated as program
+// output.
+//
+// Usage:
+//
+//	btadt [-seed N] [-list] [id ...]
+//
+// With no ids, every experiment runs in paper order. Use -list to see
+// the available ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "seed for all pseudorandomness")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	var toRun []experiments.Experiment
+	if len(ids) == 0 {
+		toRun = experiments.All()
+	} else {
+		for _, id := range ids {
+			e := experiments.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "btadt: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, *e)
+		}
+	}
+
+	failed := 0
+	for _, e := range toRun {
+		res := e.Run(*seed)
+		fmt.Print(res)
+		fmt.Println()
+		if !res.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "btadt: %d experiment(s) did not reproduce\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command classify regenerates Table 1 of the paper: it runs all seven
+// blockchain-system simulators, classifies each recorded history against
+// the BT consistency criteria and the k-fork coherence of its oracle,
+// and prints the measured mapping next to the paper's claim.
+//
+// Usage:
+//
+//	classify [-seed N] [-seeds K]
+//
+// With -seeds K > 1 the classification is repeated over K consecutive
+// seeds and a stability summary is printed (how often each row matched).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "base seed")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to classify")
+	flag.Parse()
+
+	if *seeds <= 1 {
+		res := experiments.Table1(*seed)
+		fmt.Print(res)
+		if !res.OK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	matches := map[string]int{}
+	var order []string
+	fails := 0
+	for s := 0; s < *seeds; s++ {
+		res := experiments.Table1(*seed + uint64(s))
+		if !res.OK {
+			fails++
+		}
+		for _, line := range res.Lines {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || fields[0] == "System" || fields[0] == "oracle" {
+				continue
+			}
+			sys := fields[0]
+			if _, seen := matches[sys]; !seen {
+				order = append(order, sys)
+			}
+			if strings.HasSuffix(line, "true") {
+				matches[sys]++
+			}
+		}
+	}
+	fmt.Printf("Table 1 stability over %d seeds (base %d):\n", *seeds, *seed)
+	for _, sys := range order {
+		fmt.Printf("  %-12s matched %d/%d\n", sys, matches[sys], *seeds)
+	}
+	if fails > 0 {
+		fmt.Printf("%d seed(s) had mismatching tables\n", fails)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is an executable reproduction of "Blockchain Abstract
+// Data Type" (Anceaume, Del Pozzo, Ludinard, Potop-Butucaru,
+// Tucci-Piergiovanni — SPAA 2019, arXiv:1802.09877).
+//
+// The library lives under internal/ (see README.md for the map); the
+// runnable entry points are:
+//
+//	cmd/btadt       — regenerate every figure/table of the paper
+//	cmd/classify    — regenerate Table 1 with cross-seed stability
+//	cmd/historyviz  — render histories and BlockTrees as ASCII
+//	examples/...    — quickstart, powsim, consortium, consensusnumber,
+//	                  hierarchy
+//
+// The root package holds only the benchmark harness (bench_test.go):
+// one testing.B benchmark per paper artifact plus the ablation benches
+// documented in DESIGN.md.
+package repro

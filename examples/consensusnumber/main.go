@@ -1,0 +1,95 @@
+// consensusnumber: the synchronization-power results of Section 4.1,
+// live.
+//
+// Three constructions run with real goroutines:
+//
+//   - Figure 10 / Theorem 4.1: Compare&Swap implemented from the
+//     consumeToken object with k = 1 — racing goroutines, exactly one
+//     winner, every loser observes the winner;
+//   - Figure 11 / Theorem 4.2: protocol A — wait-free Consensus from
+//     the frugal oracle Θ_F,k=1 (consensus number ∞);
+//   - Figure 12 / Theorem 4.3: the prodigal oracle's consumeToken from
+//     a wait-free atomic snapshot (consensus number 1) — all writers
+//     succeed, no agreement ever emerges from the object itself.
+//
+// Run with: go run ./examples/consensusnumber
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/concur"
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+func main() {
+	const n = 8
+
+	fmt.Println("--- Figure 10: CAS from consumeToken (k=1) ---")
+	ct := &concur.CTk1{}
+	var wg sync.WaitGroup
+	results := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := core.NewBlock(core.GenesisID, 1, i, i, []byte{byte(i)}).
+				WithToken(oracle.TokenName(core.GenesisID))
+			if old := concur.CASFromCT(ct, b); old == nil {
+				results[i] = fmt.Sprintf("p%d: swap SUCCEEDED (installed %s)", i, b.ID.Short())
+			} else {
+				results[i] = fmt.Sprintf("p%d: swap lost, observed %s", i, old[0].ID.Short())
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range results {
+		fmt.Println(" ", r)
+	}
+
+	fmt.Println("\n--- Figure 11: protocol A — consensus from ΘF,k=1 ---")
+	orc := oracle.NewFrugal(1, nil, core.WellFormed{}, 99)
+	cons, err := concur.NewOracleConsensus(orc, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	decisions := make([]*core.Block, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decisions[i], _ = cons.Propose(i, []byte(fmt.Sprintf("value-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, d := range decisions {
+		fmt.Printf("  p%d decided %s (proposed by p%d)\n", i, d.ID.Short(), d.Creator)
+	}
+	agree := true
+	for i := 1; i < n; i++ {
+		if decisions[i].ID != decisions[0].ID {
+			agree = false
+		}
+	}
+	fmt.Println("  agreement:", agree, "— the k=1 K[b0] set is the decision register")
+
+	fmt.Println("\n--- Figure 12: ΘP consumeToken from an atomic snapshot ---")
+	sct := concur.NewSnapshotCT(n)
+	views := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b := core.NewBlock(core.GenesisID, 1, i, 1000+i, []byte{byte(i)}).
+				WithToken(oracle.TokenName(core.GenesisID))
+			views[i] = len(sct.ConsumeToken(i, b))
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("  every writer's scan size: %v\n", views)
+	fmt.Printf("  final |K[b0]| = %d — unbounded consumption: no winner, no consensus\n",
+		len(sct.K(core.GenesisID)))
+	fmt.Println("  (that is why ΘP has consensus number 1 and cannot give Strong Prefix)")
+}

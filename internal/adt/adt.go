@@ -1,0 +1,128 @@
+// Package adt implements the abstract-data-type framework of Section 2 of
+// the paper: an ADT is a Mealy-machine-like transducer T = ⟨A, B, Z, ξ0,
+// τ, δ⟩ (Definition 2.1); operations are elements of Σ = A ∪ (A × B)
+// (Definition 2.2); a sequential history is a word accepted by the
+// transition system, and the set of all such words is the sequential
+// specification L(T) (Definition 2.3).
+//
+// The framework is generic over the state type; the concrete machines of
+// the paper — the BT-ADT (Definition 3.1), the Θ-ADTs (Definitions
+// 3.5-3.6) and their refinement (Definition 3.7) — are instances built in
+// this package, internal/oracle and internal/refine.
+package adt
+
+import "fmt"
+
+// Input is a symbol of the input alphabet A. Because the paper's input
+// symbols carry no arguments (each argument combination is a distinct
+// symbol), an Input here is an operation name plus its frozen arguments.
+type Input interface {
+	// Op returns the operation family name ("append", "read",
+	// "getToken", "consumeToken").
+	Op() string
+	// Key returns a canonical encoding distinguishing this symbol from
+	// every other symbol of the alphabet (operation + arguments).
+	Key() string
+}
+
+// Output is a symbol of the output alphabet B.
+type Output interface {
+	// Encode returns a canonical encoding of the output value, used to
+	// compare an observed response against δ(ξ, α).
+	Encode() string
+}
+
+// Operation is an element of Σ = A ∪ (A × B): an input symbol optionally
+// paired with the output it produced (α/β in the paper's notation). An
+// Operation with a nil Out represents the bare input symbol α ∈ A.
+type Operation[S any] struct {
+	In  Input
+	Out Output
+}
+
+// String renders α or α/β.
+func (o Operation[S]) String() string {
+	if o.Out == nil {
+		return o.In.Key()
+	}
+	return fmt.Sprintf("%s/%s", o.In.Key(), o.Out.Encode())
+}
+
+// Machine is the transducer: the transition function τ : Z × A → Z and
+// the output function δ : Z × A → B over abstract states of type S,
+// plus the initial state ξ0. Step must not mutate its argument — it
+// returns the successor state — so that specifications can be replayed
+// and compared structurally.
+type Machine[S any] struct {
+	// Name identifies the ADT ("BT-ADT", "ΘF-ADT", ...).
+	Name string
+	// Initial returns a fresh copy of ξ0.
+	Initial func() S
+	// Step computes (τ(ξ, α), δ(ξ, α)) without mutating ξ.
+	Step func(state S, in Input) (next S, out Output)
+	// Equal compares two abstract states (used by admissibility
+	// replays and property tests). Nil means "don't compare states".
+	Equal func(a, b S) bool
+}
+
+// Run executes the machine over a word of inputs starting from ξ0,
+// returning the visited states ξ1..ξn and the outputs β1..βn.
+func (m *Machine[S]) Run(word []Input) (states []S, outs []Output) {
+	st := m.Initial()
+	states = make([]S, 0, len(word))
+	outs = make([]Output, 0, len(word))
+	for _, in := range word {
+		var out Output
+		st, out = m.Step(st, in)
+		states = append(states, st)
+		outs = append(outs, out)
+	}
+	return states, outs
+}
+
+// Admissible reports whether the sequence of operations σ = (σi) is a
+// sequential history of the machine, i.e. belongs to L(T) (Definition
+// 2.3): replaying the inputs from ξ0, every recorded output must equal
+// the machine's output at that state. Operations with nil Out constrain
+// only the state evolution. On failure it returns the index of the first
+// offending operation and a diagnostic.
+func (m *Machine[S]) Admissible(seq []Operation[S]) (bool, int, string) {
+	st := m.Initial()
+	for i, op := range seq {
+		next, out := m.Step(st, op.In)
+		if op.Out != nil {
+			want := out.Encode()
+			got := op.Out.Encode()
+			if want != got {
+				return false, i, fmt.Sprintf(
+					"%s: op %d (%s): output mismatch: machine produced %q, history recorded %q",
+					m.Name, i, op.In.Key(), want, got)
+			}
+		}
+		st = next
+	}
+	return true, -1, ""
+}
+
+// Language enumerates every sequential history of length exactly n over
+// the given input alphabet — a finite fragment of L(T). It is meant for
+// small alphabets and small n (tests and the Figure 1 experiment); the
+// output grows as |A|^n.
+func (m *Machine[S]) Language(alphabet []Input, n int) [][]Operation[S] {
+	var out [][]Operation[S]
+	var rec func(st S, prefix []Operation[S])
+	rec = func(st S, prefix []Operation[S]) {
+		if len(prefix) == n {
+			cp := make([]Operation[S], n)
+			copy(cp, prefix)
+			out = append(out, cp)
+			return
+		}
+		for _, in := range alphabet {
+			next, o := m.Step(st, in)
+			rec(next, append(prefix, Operation[S]{In: in, Out: o}))
+		}
+	}
+	rec(m.Initial(), nil)
+	return out
+}

@@ -1,0 +1,125 @@
+package adt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file instantiates the BT-ADT of Definition 3.1 as a Machine:
+//
+//	BT-ADT = ⟨ A = {append(b), read() : b ∈ B},
+//	           B = BC ∪ {true,false},
+//	           Z = BT × F × (B → {true,false}),
+//	           ξ0 = (bt0, f, P), τ, δ ⟩
+//
+// with
+//
+//	τ((bt,f,P), append(b)) = ({b0}⌢f(bt)⌢{b}, f, P)  if b ∈ B′, else unchanged
+//	τ((bt,f,P), read())    = (bt, f, P)
+//	δ((bt,f,P), append(b)) = true iff b ∈ B′
+//	δ((bt,f,P), read())    = {b0}⌢f(bt)   (b0 alone on the initial state)
+//
+// Note the subtlety faithful to the paper: append(b) does NOT attach b to
+// an arbitrary node — it extends the *selected* chain f(bt), so even the
+// sequential machine grows a tree only through the selected path, and
+// forks arise only in the concurrent/replicated setting.
+
+// BTState is the abstract state ξ = (bt, f, P) of the BT-ADT.
+type BTState struct {
+	Tree *core.Tree
+	F    core.Selector
+	P    core.Predicate
+}
+
+// AppendInput is the input symbol append(b) for a specific block b.
+type AppendInput struct{ B *core.Block }
+
+// Op returns "append".
+func (a AppendInput) Op() string { return "append" }
+
+// Key distinguishes append(b) symbols by block ID.
+func (a AppendInput) Key() string { return fmt.Sprintf("append(%s)", a.B.ID.Short()) }
+
+// ReadInput is the input symbol read().
+type ReadInput struct{}
+
+// Op returns "read".
+func (ReadInput) Op() string { return "read" }
+
+// Key returns "read()".
+func (ReadInput) Key() string { return "read()" }
+
+// BoolOutput is the output alphabet's true/false component.
+type BoolOutput bool
+
+// Encode renders "true" or "false".
+func (b BoolOutput) Encode() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// ChainOutput is the output alphabet's BC component: a returned
+// blockchain.
+type ChainOutput struct{ Chain core.Chain }
+
+// Encode renders the chain in concatenation notation; two outputs encode
+// equal iff the chains are equal.
+func (c ChainOutput) Encode() string { return c.Chain.String() }
+
+// NewBTMachine builds the BT-ADT machine with selection function f and
+// validity predicate P (the two parameters of the ADT, frozen into ξ0).
+func NewBTMachine(f core.Selector, p core.Predicate) *Machine[BTState] {
+	if f == nil {
+		f = core.LongestChain{}
+	}
+	if p == nil {
+		p = core.AlwaysValid{}
+	}
+	return &Machine[BTState]{
+		Name: "BT-ADT",
+		Initial: func() BTState {
+			return BTState{Tree: core.NewTree(), F: f, P: p}
+		},
+		Step: func(st BTState, in Input) (BTState, Output) {
+			switch sym := in.(type) {
+			case ReadInput:
+				return st, ChainOutput{Chain: st.F.Select(st.Tree)}
+			case AppendInput:
+				b := sym.B
+				if b == nil || !st.P.Valid(b) {
+					return st, BoolOutput(false)
+				}
+				sel := st.F.Select(st.Tree)
+				head := sel.Head()
+				// The appended block must chain to the head
+				// of the selected chain: {b0}⌢f(bt)⌢{b}.
+				nb := *b
+				nb.Parent = head.ID
+				nb.Height = head.Height + 1
+				// If the block's identity committed to a
+				// different parent, re-validate under P after
+				// re-chaining; content-hash predicates reject
+				// re-chained blocks, which models "the token
+				// was for another block".
+				if b.Parent != "" && b.Parent != head.ID {
+					if !st.P.Valid(&nb) {
+						return st, BoolOutput(false)
+					}
+				}
+				nt := st.Tree.Clone()
+				if err := nt.Attach(&nb); err != nil {
+					return st, BoolOutput(false)
+				}
+				return BTState{Tree: nt, F: st.F, P: st.P}, BoolOutput(true)
+			default:
+				panic(fmt.Sprintf("adt: BT-ADT does not accept input %T", in))
+			}
+		},
+		Equal: func(a, b BTState) bool {
+			return a.F.Select(a.Tree).Equal(b.F.Select(b.Tree)) && a.Tree.Len() == b.Tree.Len()
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package concur
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/tape"
+)
+
+// Consensus is the blockchain-flavoured consensus object of Definition
+// 4.1: Termination, Integrity, Agreement, and the [11]-style Validity
+// requiring the decided block to satisfy the predicate P.
+type Consensus interface {
+	// Propose submits process proc's proposal payload and returns the
+	// decided block. It must be called at most once per process
+	// (Integrity is the caller's obligation; the implementations
+	// nevertheless tolerate repeats and return the same decision).
+	Propose(proc int, payload []byte) (*core.Block, error)
+}
+
+// OracleConsensus is protocol A of Figure 11: consensus from the frugal
+// oracle with k = 1 (Theorem 4.2). Each process loops getToken(b0, b)
+// until the oracle validates a block, then consumes the token; for k = 1
+// the set K[b0] permanently holds exactly one block — the decided value.
+type OracleConsensus struct {
+	o       oracle.Oracle
+	genesis *core.Block
+	merit   tape.Merit
+}
+
+// NewOracleConsensus builds protocol A over the given Θ_F,k=1 oracle.
+// merit is the per-process α used when mining tokens (all processes are
+// given the same merit; fairness is out of the paper's scope).
+func NewOracleConsensus(o oracle.Oracle, merit tape.Merit) (*OracleConsensus, error) {
+	if o.MaxForks() != 1 {
+		return nil, fmt.Errorf("concur: protocol A requires ΘF with k=1, got %s", o.Name())
+	}
+	return &OracleConsensus{o: o, genesis: core.Genesis(), merit: merit}, nil
+}
+
+// Propose implements Figure 11:
+//
+//	(1) validBlock ← ⊥
+//	(3) while validBlock = ⊥:
+//	(4)     validBlock ← getToken(b0, b)
+//	(5) validBlockSet ← consumeToken(validBlock)
+//	(6) decide(validBlockSet)       // contains exactly one element
+func (c *OracleConsensus) Propose(proc int, payload []byte) (*core.Block, error) {
+	var validBlock *core.Block
+	for validBlock == nil {
+		if b, ok := c.o.GetToken(c.merit, c.genesis, proc, 0, payload); ok {
+			validBlock = b
+		}
+	}
+	validBlockSet, _ := c.o.ConsumeToken(validBlock)
+	if len(validBlockSet) != 1 {
+		return nil, fmt.Errorf("concur: k=1 oracle returned %d consumed tokens", len(validBlockSet))
+	}
+	return validBlockSet[0], nil
+}
+
+// CASConsensus is Herlihy's classical consensus from Compare&Swap, used
+// as the reference object against which Figure 10's reduction is tested
+// and benchmarked: the first process to swap its proposal in wins.
+type CASConsensus struct {
+	cas CAS[core.BlockID]
+	// reg maps the winning ID back to the block (single assignment
+	// per ID; stored before the CAS publishes the ID).
+	blocks Register[map[core.BlockID]*core.Block]
+	mu     chan struct{}
+}
+
+// NewCASConsensus builds the reference CAS-based consensus object.
+func NewCASConsensus() *CASConsensus {
+	c := &CASConsensus{mu: make(chan struct{}, 1)}
+	c.mu <- struct{}{}
+	c.blocks.Write(map[core.BlockID]*core.Block{})
+	return c
+}
+
+// Propose decides the first proposal whose CAS on the empty ID succeeds.
+func (c *CASConsensus) Propose(proc int, payload []byte) (*core.Block, error) {
+	b := core.NewBlock(core.GenesisID, 1, proc, 0, payload)
+	// Publish the block under its ID before attempting to win, so the
+	// winner's block is readable by everyone afterwards.
+	<-c.mu
+	m := c.blocks.Read()
+	nm := make(map[core.BlockID]*core.Block, len(m)+1)
+	for k, v := range m {
+		nm[k] = v
+	}
+	nm[b.ID] = b
+	c.blocks.Write(nm)
+	c.mu <- struct{}{}
+
+	prev := c.cas.CompareAndSwap("", b.ID)
+	winner := prev
+	if prev == "" {
+		winner = b.ID
+	}
+	wb := c.blocks.Read()[winner]
+	if wb == nil {
+		return nil, fmt.Errorf("concur: winner block %s not published", winner.Short())
+	}
+	return wb, nil
+}
+
+// CTConsensus composes Figure 10 and Figure 11 differently: consensus
+// built directly on the CTk1 object through the CAS reduction, proving
+// Theorem 4.1's reduction is strong enough to solve consensus without
+// the oracle's getToken half (every process self-validates its block
+// with the object's token format — the validation concern is separated,
+// which is exactly the point of the oracle construction).
+type CTConsensus struct {
+	ct CTk1
+}
+
+// NewCTConsensus builds consensus over a fresh CTk1 object.
+func NewCTConsensus() *CTConsensus { return &CTConsensus{} }
+
+// Propose wins by CASFromCT on K[b0].
+func (c *CTConsensus) Propose(proc int, payload []byte) (*core.Block, error) {
+	b := core.NewBlock(core.GenesisID, 1, proc, 0, payload)
+	b = b.WithToken(oracle.TokenName(core.GenesisID))
+	if old := CASFromCT(&c.ct, b); old != nil {
+		return old[0], nil
+	}
+	// Swap succeeded: our block is the decision.
+	set := c.ct.K(core.GenesisID)
+	if len(set) != 1 {
+		return nil, fmt.Errorf("concur: K[b0] has %d elements after successful CAS", len(set))
+	}
+	return set[0], nil
+}

@@ -1,0 +1,128 @@
+package concur
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+// CTk1 is the consumeToken object of Figure 9 for the frugal oracle with
+// k = 1: per object h, the set K[h] holds at most one validated block;
+// consumeToken(b^{tkn_h}_ℓ) inserts b iff K[h] is empty and the token is
+// well-formed, and always returns the contents of K[h] at the end of the
+// operation. Linearizability of the insert is delegated to a hardware
+// CAS, which is legitimate: the paper's point (Theorem 4.1) is that this
+// object and CAS are interimplementable.
+type CTk1 struct {
+	slots sync.Map // core.BlockID → *atomic.Pointer[core.Block]
+}
+
+func (c *CTk1) slot(h core.BlockID) *atomic.Pointer[core.Block] {
+	if v, ok := c.slots.Load(h); ok {
+		return v.(*atomic.Pointer[core.Block])
+	}
+	v, _ := c.slots.LoadOrStore(h, new(atomic.Pointer[core.Block]))
+	return v.(*atomic.Pointer[core.Block])
+}
+
+// ConsumeToken implements Figure 9's left column. The returned slice is
+// the contents of K[h] when the operation completed: empty only if the
+// token was malformed and K[h] still empty.
+func (c *CTk1) ConsumeToken(b *core.Block) []*core.Block {
+	if b == nil {
+		return nil
+	}
+	slot := c.slot(b.Parent)
+	if b.Token == oracle.TokenName(b.Parent) {
+		slot.CompareAndSwap(nil, b)
+	}
+	if cur := slot.Load(); cur != nil {
+		return []*core.Block{cur}
+	}
+	return nil
+}
+
+// K returns the current contents of K[h].
+func (c *CTk1) K(h core.BlockID) []*core.Block {
+	if cur := c.slot(h).Load(); cur != nil {
+		return []*core.Block{cur}
+	}
+	return nil
+}
+
+// CASFromCT implements Figure 10: compare&swap(K[h], {}, b^{tkn_h}_ℓ)
+// from the consumeToken object. It returns the empty set (nil) when the
+// swap succeeded — K[h] was {} and now holds b — and otherwise the value
+// K[h] held, exactly as the paper's pseudo-code returns returned_value.
+// This is the reduction behind Theorem 4.1 (CT with k = 1 has the power
+// of CAS, hence consensus number ∞).
+func CASFromCT(ct *CTk1, b *core.Block) []*core.Block {
+	returned := ct.ConsumeToken(b)
+	if len(returned) == 1 && returned[0].ID == b.ID {
+		return nil // the old value {} — our block was installed
+	}
+	return returned
+}
+
+// SnapshotCT is Figure 12: the prodigal oracle's consumeToken implemented
+// from an Atomic Snapshot object. Per object h there are n single-writer
+// registers R_{h,1..n}, one per token; consumeToken_h(tkn_m) performs
+// update(R_{h,m}, tkn_m) followed by scan(R_{h,1},...,R_{h,n}) and
+// returns the scanned view. Because an update always succeeds, the
+// number of tokens consumed per object is unbounded — this is Θ_P — and
+// because snapshots have consensus number 1, so does Θ_P (Theorem 4.3).
+type SnapshotCT struct {
+	n    int
+	mu   sync.Mutex
+	objs map[core.BlockID]*Snapshot[*core.Block]
+}
+
+// NewSnapshotCT builds the object for n token-writer slots per object.
+func NewSnapshotCT(n int) *SnapshotCT {
+	return &SnapshotCT{n: n, objs: make(map[core.BlockID]*Snapshot[*core.Block])}
+}
+
+func (s *SnapshotCT) snapFor(h core.BlockID) *Snapshot[*core.Block] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap, ok := s.objs[h]; ok {
+		return snap
+	}
+	snap := NewSnapshot[*core.Block](s.n)
+	s.objs[h] = snap
+	return snap
+}
+
+// ConsumeToken implements Figure 12 for writer index m ∈ [0, n).
+// It returns every token written for the object so far, including the
+// one just written (the scan "includes the last written token").
+func (s *SnapshotCT) ConsumeToken(m int, b *core.Block) []*core.Block {
+	if b == nil || m < 0 || m >= s.n {
+		return nil
+	}
+	snap := s.snapFor(b.Parent)
+	snap.Update(m, b)
+	view := snap.Scan()
+	out := make([]*core.Block, 0, len(view))
+	for _, blk := range view {
+		if blk != nil {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// K returns the consumed tokens for object h without writing.
+func (s *SnapshotCT) K(h core.BlockID) []*core.Block {
+	snap := s.snapFor(h)
+	view := snap.Scan()
+	out := make([]*core.Block, 0, len(view))
+	for _, blk := range view {
+		if blk != nil {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Package concur implements the shared-memory substrate of Section 4.1
+// and the paper's three wait-free constructions:
+//
+//   - Figure 9/10: consumeToken with k = 1 has the power of
+//     Compare&Swap — a CAS object implemented *from* a consumeToken
+//     object (Theorem 4.1);
+//   - Figure 11: protocol A solving Consensus from the frugal oracle
+//     with k = 1 (Theorem 4.2: consensus number ∞);
+//   - Figure 12: the prodigal oracle's consumeToken implemented from an
+//     Atomic Snapshot object (Theorem 4.3: consensus number 1).
+//
+// The substrate itself — atomic registers and a wait-free atomic
+// snapshot in the style of Afek et al. — is built on sync/atomic only.
+package concur
+
+import "sync/atomic"
+
+// Register is a multi-reader multi-writer atomic register holding values
+// of type T. Reads and writes are linearizable (delegated to the
+// machine's atomic pointer loads/stores). The zero Register holds the
+// zero value of T.
+type Register[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Read returns the register's current value.
+func (r *Register[T]) Read() T {
+	if v := r.p.Load(); v != nil {
+		return *v
+	}
+	var zero T
+	return zero
+}
+
+// Write stores v.
+func (r *Register[T]) Write(v T) {
+	r.p.Store(&v)
+}
+
+// CAS is the Compare&Swap object of Figure 9: compare&swap(register,
+// old_value, new_value) stores new_value iff the current value equals
+// old_value, and in every case returns the value held at the start of
+// the operation. Herlihy assigns it consensus number ∞.
+type CAS[T comparable] struct {
+	v atomic.Value
+}
+
+type casBox[T comparable] struct{ v T }
+
+// CompareAndSwap implements Figure 9's pseudo-code atomically.
+func (c *CAS[T]) CompareAndSwap(old, new T) (previous T) {
+	for {
+		cur := c.v.Load()
+		var curV T
+		if cur != nil {
+			curV = cur.(casBox[T]).v
+		}
+		if curV != old {
+			return curV
+		}
+		if cur == nil {
+			// Initialize-and-swap: only one initializer wins.
+			if c.v.CompareAndSwap(nil, casBox[T]{new}) {
+				return curV
+			}
+			continue
+		}
+		if c.v.CompareAndSwap(cur, casBox[T]{new}) {
+			return curV
+		}
+	}
+}
+
+// Read returns the current value without modifying it.
+func (c *CAS[T]) Read() T {
+	cur := c.v.Load()
+	if cur == nil {
+		var zero T
+		return zero
+	}
+	return cur.(casBox[T]).v
+}

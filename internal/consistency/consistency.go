@@ -1,0 +1,426 @@
+// Package consistency implements the paper's consistency criteria as
+// executable checkers over recorded histories:
+//
+//   - the four properties of BT Strong Consistency (Definition 3.2):
+//     Block Validity, Local Monotonic Read, Strong Prefix, Ever Growing
+//     Tree;
+//   - the Eventual Prefix property (Definition 3.3) and BT Eventual
+//     Consistency (Definition 3.4);
+//   - k-Fork Coherence (Definition 3.9);
+//   - the Update Agreement properties R1–R3 (Definition 4.3) and the
+//     Light Reliable Communication properties (Definition 4.4).
+//
+// The paper's liveness-flavoured properties quantify over infinite
+// histories; a checker sees a finite prefix. The finitary readings used
+// here are documented on each checker and in DESIGN.md: safety properties
+// (Strong Prefix, Local Monotonic Read, Block Validity, k-Fork Coherence)
+// are checked exactly, while Ever Growing Tree and Eventual Prefix
+// exclude a configurable trailing "horizon" of reads for which the
+// history contains no future.
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// Report is the outcome of checking one property on one history.
+type Report struct {
+	// Property names the property checked.
+	Property string
+	// OK reports whether the property holds (under the finitary
+	// reading for liveness-flavoured properties).
+	OK bool
+	// Violations holds human-readable counterexamples, capped at
+	// MaxViolations.
+	Violations []string
+	// Checked counts the atomic facts examined (pairs, reads, ...),
+	// so reports can convey coverage.
+	Checked int
+}
+
+// MaxViolations caps the counterexamples retained per report.
+const MaxViolations = 16
+
+func (r *Report) violate(format string, args ...any) {
+	r.OK = false
+	if len(r.Violations) < MaxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// String renders "property: OK (n facts)" or the first violation.
+func (r *Report) String() string {
+	if r.OK {
+		return fmt.Sprintf("%s: OK (%d facts)", r.Property, r.Checked)
+	}
+	return fmt.Sprintf("%s: VIOLATED (%d facts, e.g. %s)", r.Property, r.Checked, r.Violations[0])
+}
+
+// Checker bundles the parameters shared by all criteria: the score
+// function and the validity predicate P of the BT-ADT under scrutiny,
+// plus the liveness tail window.
+//
+// Finitary reading of the liveness-flavoured properties. The paper's
+// Ever Growing Tree and Eventual Prefix quantify over infinite suffixes;
+// a checker sees a finite prefix. The reading used here treats the final
+// window of reads (the last max(2, procs) read responses, overridable
+// via Horizon) as the observable stand-in for "the suffix": a condition
+// that still holds in that window is presumed persistent.
+//
+//   - Ever Growing Tree: read r with score s is violated iff the window
+//     (restricted to reads after r) contains a read with score ≤ s while
+//     the window's maximum score exceeds s — i.e. stagnation persists
+//     even though the system demonstrably grew past s. Windows whose
+//     maximum is not above s are the truncation frontier and exempt.
+//   - Eventual Prefix: read r with score s is violated iff two window
+//     reads after r structurally diverge below s: their maximal common
+//     prefix scores below min(s, score(a), score(b)). Requiring the
+//     bound on *both* chains' own scores distinguishes real branch
+//     divergence from one chain simply being shorter; a shorter chain
+//     that is a prefix of the longer is stagnation (an Ever Growing
+//     Tree matter), not divergence. This makes Theorem 3.1 (every SC
+//     history is an EC history) hold structurally: under Strong Prefix
+//     every mcps equals min(score(a), score(b)) ≥ the bound.
+type Checker struct {
+	// Score is the monotonic score function (Definition 3.2 notation).
+	Score core.Score
+	// P is the validity predicate for Block Validity.
+	P core.Predicate
+	// Horizon overrides the liveness tail-window size; 0 means
+	// max(2, procs).
+	Horizon int
+}
+
+// NewChecker returns a Checker with the given score and predicate
+// (nil means length score / always-valid).
+func NewChecker(sc core.Score, p core.Predicate) *Checker {
+	if sc == nil {
+		sc = core.LengthScore{}
+	}
+	if p == nil {
+		p = core.AlwaysValid{}
+	}
+	return &Checker{Score: sc, P: p}
+}
+
+// window returns the liveness tail-window size.
+func (c *Checker) window(h *history.History) int {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	w := h.Procs
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// tail returns the last window reads of the history (response order).
+func (c *Checker) tail(h *history.History, reads []*history.Op) []*history.Op {
+	w := c.window(h)
+	if w > len(reads) {
+		w = len(reads)
+	}
+	return reads[len(reads)-w:]
+}
+
+// BlockValidity checks Definition 3.2's first property: every non-genesis
+// block of every chain returned by a read of a correct process satisfies
+// P and was the argument of an append() whose invocation program-order
+// precedes the read's response.
+func (c *Checker) BlockValidity(h *history.History) *Report {
+	rep := &Report{Property: "BlockValidity", OK: true}
+	appends := make(map[core.BlockID]*history.Op)
+	for _, op := range h.Ops {
+		if op.Kind == history.OpAppend && op.Block != nil {
+			// The invocation suffices (einv(append(b)) ր ersp(r));
+			// keep the earliest invocation per block.
+			if prev, ok := appends[op.Block.ID]; !ok || op.InvIndex < prev.InvIndex {
+				appends[op.Block.ID] = op
+			}
+		}
+	}
+	for _, r := range h.Reads() {
+		for _, b := range r.Chain {
+			if b.IsGenesis() {
+				continue
+			}
+			rep.Checked++
+			if !c.P.Valid(b) {
+				rep.violate("read %s returned block %s with P(b)=false", r, b.ID.Short())
+				continue
+			}
+			ap, ok := appends[b.ID]
+			if !ok {
+				rep.violate("read %s returned block %s never passed to append()", r, b.ID.Short())
+				continue
+			}
+			if ap.InvIndex >= r.RspIndex {
+				rep.violate("read %s returned block %s appended only later (inv %d ≥ rsp %d)",
+					r, b.ID.Short(), ap.InvIndex, r.RspIndex)
+			}
+		}
+	}
+	return rep
+}
+
+// LocalMonotonicRead checks that along each correct process's sequence of
+// reads the returned scores never decrease.
+func (c *Checker) LocalMonotonicRead(h *history.History) *Report {
+	rep := &Report{Property: "LocalMonotonicRead", OK: true}
+	for p := 0; p < h.Procs; p++ {
+		if !h.IsCorrect(p) {
+			continue
+		}
+		var prev *history.Op
+		for _, op := range h.ByProcess(p) {
+			if op.Kind != history.OpRead {
+				continue
+			}
+			if prev != nil {
+				rep.Checked++
+				if c.Score.Of(prev.Chain) > c.Score.Of(op.Chain) {
+					rep.violate("process %d: score dropped %d → %d (%s then %s)",
+						p, c.Score.Of(prev.Chain), c.Score.Of(op.Chain), prev, op)
+				}
+			}
+			prev = op
+		}
+	}
+	return rep
+}
+
+// StrongPrefix checks that for every pair of reads by correct processes
+// one returned chain prefixes the other. This is the safety property that
+// separates SC from EC.
+func (c *Checker) StrongPrefix(h *history.History) *Report {
+	rep := &Report{Property: "StrongPrefix", OK: true}
+	reads := h.Reads()
+	// Sorting by score would give O(n log n) comparisons against the
+	// running maximum; the pairwise scan is kept for exactness of the
+	// reported pair and is benchmarked against the sorted variant in
+	// bench_test.go.
+	for i := 0; i < len(reads); i++ {
+		for j := i + 1; j < len(reads); j++ {
+			rep.Checked++
+			if !reads[i].Chain.Comparable(reads[j].Chain) {
+				rep.violate("incomparable reads: %s vs %s", reads[i], reads[j])
+				if len(rep.Violations) == MaxViolations {
+					return rep
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// StrongPrefixFast is the O(n log n)-comparison variant: reads sorted by
+// score; each chain must prefix the next longer one. Equivalent verdict
+// to StrongPrefix (prefix order on comparable chains is total once sorted
+// by a monotonic score); used by the ablation bench.
+func (c *Checker) StrongPrefixFast(h *history.History) *Report {
+	rep := &Report{Property: "StrongPrefix(fast)", OK: true}
+	reads := h.Reads()
+	if len(reads) < 2 {
+		return rep
+	}
+	sorted := make([]*history.Op, len(reads))
+	copy(sorted, reads)
+	// Insertion sort by score keeps the checker dependency-free and is
+	// fine for the history sizes we generate; replace with sort.Slice
+	// if histories grow.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && c.Score.Of(sorted[j].Chain) < c.Score.Of(sorted[j-1].Chain); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		rep.Checked++
+		if !sorted[i-1].Chain.Prefix(sorted[i].Chain) {
+			rep.violate("incomparable reads: %s vs %s", sorted[i-1], sorted[i])
+		}
+	}
+	return rep
+}
+
+// EverGrowingTree checks the finitary reading of Definition 3.2's last
+// property ("the set of later reads with score ≤ s is finite"): a read r
+// with score s is violated when the final window still contains a read
+// with score ≤ s although the window's maximum score exceeds s — the
+// stagnation persisted to the end of the recorded prefix while the tree
+// demonstrably kept growing. See the Checker doc comment.
+func (c *Checker) EverGrowingTree(h *history.History) *Report {
+	rep := &Report{Property: "EverGrowingTree", OK: true}
+	reads := h.Reads() // response order
+	tail := c.tail(h, reads)
+	for _, r := range reads {
+		rep.Checked++
+		s := c.Score.Of(r.Chain)
+		maxT := -1
+		var stale *history.Op
+		for _, t := range tail {
+			if !r.Before(t) {
+				continue
+			}
+			st := c.Score.Of(t.Chain)
+			if st > maxT {
+				maxT = st
+			}
+			if st <= s && stale == nil {
+				stale = t
+			}
+		}
+		if stale != nil && maxT > s {
+			rep.violate("stagnation persists after %s: final-window read %s has score ≤ %d while the window grew to %d",
+				r, stale, s, maxT)
+			if len(rep.Violations) == MaxViolations {
+				return rep
+			}
+		}
+	}
+	return rep
+}
+
+// EventualPrefix checks the finitary reading of Definition 3.3 ("the set
+// of read pairs whose maximal common prefix scores below s is finite"):
+// a read r with score s is violated when two final-window reads after r
+// structurally diverge below s, i.e. mcps(a, b) < min(s, score(a),
+// score(b)). See the Checker doc comment for why the bound involves both
+// chains' own scores.
+func (c *Checker) EventualPrefix(h *history.History) *Report {
+	rep := &Report{Property: "EventualPrefix", OK: true}
+	reads := h.Reads()
+	tail := c.tail(h, reads)
+	for _, r := range reads {
+		s := c.Score.Of(r.Chain)
+		var after []*history.Op
+		for _, t := range tail {
+			if r.Before(t) {
+				after = append(after, t)
+			}
+		}
+		for a := 0; a < len(after); a++ {
+			for b := a + 1; b < len(after); b++ {
+				rep.Checked++
+				m := core.MCPS(c.Score, after[a].Chain, after[b].Chain)
+				bound := s
+				if sa := c.Score.Of(after[a].Chain); sa < bound {
+					bound = sa
+				}
+				if sb := c.Score.Of(after[b].Chain); sb < bound {
+					bound = sb
+				}
+				if m < bound {
+					rep.violate("after %s (score %d) final-window reads still diverge: mcps(%s, %s)=%d < %d",
+						r, s, after[a], after[b], m, bound)
+					if len(rep.Violations) == MaxViolations {
+						return rep
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// KForkCoherence checks Definition 3.9: at most k successful append()
+// operations return ⊤ for the same token. Blocks record the consumed
+// token name; successful appends are grouped by it. Blocks with no token
+// (histories not produced through an oracle refinement) are grouped by
+// parent, which is the object the token was for.
+func (c *Checker) KForkCoherence(h *history.History, k int) *Report {
+	rep := &Report{Property: fmt.Sprintf("%d-ForkCoherence", k), OK: true}
+	byToken := make(map[string][]*history.Op)
+	for _, op := range h.SuccessfulAppends() {
+		if op.Block == nil {
+			continue
+		}
+		key := op.Block.Token
+		if key == "" {
+			key = "parent:" + string(op.Block.Parent)
+		}
+		byToken[key] = append(byToken[key], op)
+	}
+	for tok, ops := range byToken {
+		rep.Checked++
+		if len(ops) > k {
+			rep.violate("token %q consumed by %d successful appends (k=%d)", tok, len(ops), k)
+		}
+	}
+	return rep
+}
+
+// Verdict aggregates the criterion-level outcome.
+type Verdict struct {
+	// Criterion is "SC" or "EC".
+	Criterion string
+	OK        bool
+	Reports   []*Report
+}
+
+// String renders e.g. "SC: HOLDS" or "EC: VIOLATED (StrongPrefix)".
+func (v *Verdict) String() string {
+	if v.OK {
+		return fmt.Sprintf("%s: HOLDS", v.Criterion)
+	}
+	for _, r := range v.Reports {
+		if !r.OK {
+			return fmt.Sprintf("%s: VIOLATED (%s)", v.Criterion, r.Property)
+		}
+	}
+	return fmt.Sprintf("%s: VIOLATED", v.Criterion)
+}
+
+// Failing returns the names of the violated properties.
+func (v *Verdict) Failing() []string {
+	var out []string
+	for _, r := range v.Reports {
+		if !r.OK {
+			out = append(out, r.Property)
+		}
+	}
+	return out
+}
+
+// StrongConsistency checks the BT Strong Consistency criterion
+// (Definition 3.2): Block Validity ∧ Local Monotonic Read ∧ Strong
+// Prefix ∧ Ever Growing Tree.
+func (c *Checker) StrongConsistency(h *history.History) *Verdict {
+	reports := []*Report{
+		c.BlockValidity(h),
+		c.LocalMonotonicRead(h),
+		c.StrongPrefix(h),
+		c.EverGrowingTree(h),
+	}
+	v := &Verdict{Criterion: "SC", OK: true, Reports: reports}
+	for _, r := range reports {
+		v.OK = v.OK && r.OK
+	}
+	return v
+}
+
+// EventualConsistency checks the BT Eventual Consistency criterion
+// (Definition 3.4): Block Validity ∧ Local Monotonic Read ∧ Ever Growing
+// Tree ∧ Eventual Prefix.
+func (c *Checker) EventualConsistency(h *history.History) *Verdict {
+	reports := []*Report{
+		c.BlockValidity(h),
+		c.LocalMonotonicRead(h),
+		c.EverGrowingTree(h),
+		c.EventualPrefix(h),
+	}
+	v := &Verdict{Criterion: "EC", OK: true, Reports: reports}
+	for _, r := range reports {
+		v.OK = v.OK && r.OK
+	}
+	return v
+}
+
+// Classify returns both verdicts, the shape of Table 1's consistency
+// column.
+func (c *Checker) Classify(h *history.History) (sc, ec *Verdict) {
+	return c.StrongConsistency(h), c.EventualConsistency(h)
+}

@@ -1,0 +1,47 @@
+package consistency
+
+import (
+	"repro/internal/history"
+)
+
+// MonotonicPrefix checks the session form of the Monotonic Prefix
+// Consistency (MPC) criterion of Girault, Gößler, Guerraoui, Hamza and
+// Seredinschi — the paper's reference [20], cited in the related work:
+// along each process's sequence of reads, every returned chain must be a
+// prefix of the next one. This strengthens Local Monotonic Read (which
+// only forbids the *score* from dropping): a same-score branch switch —
+// a chain reorganisation — violates MPC while passing Local Monotonic
+// Read.
+//
+// Positioning on this repository's runs: the k = 1 consensus family
+// (whose reads only ever extend a unique chain) satisfies MPC, while the
+// proof-of-work family violates it whenever a read lands on an abandoned
+// branch — so MPC sits strictly between the paper's two criteria on
+// these systems. [20] proves nothing stronger than MPC is implementable
+// in a partition-prone message-passing system, which is how the paper's
+// Section 1 transfers the impossibility to Strong Prefix.
+func (c *Checker) MonotonicPrefix(h *history.History) *Report {
+	rep := &Report{Property: "MonotonicPrefix", OK: true}
+	for p := 0; p < h.Procs; p++ {
+		if !h.IsCorrect(p) {
+			continue
+		}
+		var prev *history.Op
+		for _, op := range h.ByProcess(p) {
+			if op.Kind != history.OpRead {
+				continue
+			}
+			if prev != nil {
+				rep.Checked++
+				if !prev.Chain.Prefix(op.Chain) {
+					rep.violate("process %d reorganised: %s then %s", p, prev, op)
+					if len(rep.Violations) == MaxViolations {
+						return rep
+					}
+				}
+			}
+			prev = op
+		}
+	}
+	return rep
+}

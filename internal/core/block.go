@@ -1,0 +1,120 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// BlockID identifies a block by the hex encoding of a content hash. Using
+// a content hash (rather than an arbitrary label) gives the simulators the
+// same structural property real blockchains rely on: a block commits to
+// its parent, so a chain is self-certifying.
+type BlockID string
+
+// GenesisID is the identifier of the genesis block b0. It is the only
+// block whose parent is the empty ID.
+const GenesisID BlockID = "b0"
+
+// Short returns an 8-character prefix of the ID for compact rendering in
+// history visualizations.
+func (id BlockID) Short() string {
+	if len(id) <= 8 {
+		return string(id)
+	}
+	return string(id[:8])
+}
+
+// Block is one vertex of the BlockTree. Blocks are immutable once
+// created; all mutation happens at the tree level.
+type Block struct {
+	// ID is the content hash of the block (or "b0" for genesis).
+	ID BlockID
+	// Parent is the ID of the block this one chains to; empty for b0.
+	Parent BlockID
+	// Height is the distance to the root: genesis has height 0, a
+	// block b_k appended to b_{k-1} has height k.
+	Height int
+	// Creator is the identifier of the process that produced the
+	// block (the miner / proposer in protocol simulations).
+	Creator int
+	// Round is the protocol round or virtual time at which the block
+	// was produced. Purely informational; used by visualizers.
+	Round int
+	// Weight is the block's own weight under weighted scores (e.g.
+	// total difficulty contribution in an Ethereum-style chain).
+	// Length-based scores ignore it. Must be >= 1 so that every
+	// weighted score is strictly monotonic, as Definition 3.2's score
+	// functions require.
+	Weight int
+	// Payload is opaque application data; the validity predicate P may
+	// inspect it (e.g. the toy ledger predicate).
+	Payload []byte
+	// Token, when non-empty, names the oracle token consumed to
+	// validate this block (b^{tkn_h}_ℓ in the paper). The k-fork
+	// coherence checker groups blocks by this field.
+	Token string
+}
+
+// Genesis returns the genesis block b0. By assumption in the paper,
+// b0 ∈ B′ (it is valid) and it belongs to every BlockTree.
+func Genesis() *Block {
+	return &Block{ID: GenesisID, Height: 0, Creator: -1, Weight: 1}
+}
+
+// HashBlock computes the content ID for a block chaining to parent with
+// the given creator, round and payload. The hash commits to every field
+// that determines the block's identity.
+func HashBlock(parent BlockID, creator, round int, payload []byte) BlockID {
+	h := sha256.New()
+	h.Write([]byte(parent))
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(creator)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(round)))
+	h.Write(buf[:])
+	h.Write(payload)
+	return BlockID(hex.EncodeToString(h.Sum(nil)))
+}
+
+// NewBlock builds a block chaining to parent, computing its content ID.
+// The height must be supplied by the caller (parent height + 1); the tree
+// re-checks it on insertion.
+func NewBlock(parent BlockID, height, creator, round int, payload []byte) *Block {
+	return &Block{
+		ID:      HashBlock(parent, creator, round, payload),
+		Parent:  parent,
+		Height:  height,
+		Creator: creator,
+		Round:   round,
+		Weight:  1,
+		Payload: payload,
+	}
+}
+
+// WithWeight returns a copy of b with the given weight. Weight does not
+// participate in the ID so that the same logical block can be re-weighted
+// by fork-choice experiments without changing its identity.
+func (b *Block) WithWeight(w int) *Block {
+	nb := *b
+	nb.Weight = w
+	return &nb
+}
+
+// WithToken returns a copy of b carrying the consumed oracle token name.
+func (b *Block) WithToken(tok string) *Block {
+	nb := *b
+	nb.Token = tok
+	return &nb
+}
+
+// IsGenesis reports whether b is the genesis block.
+func (b *Block) IsGenesis() bool { return b.ID == GenesisID }
+
+// String renders the block compactly, e.g. "blk(3f2a9c1d h=4 by p2)".
+func (b *Block) String() string {
+	if b.IsGenesis() {
+		return "b0"
+	}
+	return fmt.Sprintf("blk(%s h=%d by p%d)", b.ID.Short(), b.Height, b.Creator)
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkChain builds a well-formed chain of n blocks after genesis, with
+// block rounds derived from the seed so different seeds give different
+// chains.
+func mkChain(n int, seed int) Chain {
+	c := GenesisChain()
+	for i := 1; i <= n; i++ {
+		head := c.Head()
+		c = c.Append(NewBlock(head.ID, head.Height+1, 0, seed*1000+i, []byte{byte(i)}))
+	}
+	return c
+}
+
+// fork builds a chain sharing the first common blocks of base and then
+// diverging for extra blocks.
+func forkOf(base Chain, common, extra int, seed int) Chain {
+	c := base[:common+1].Clone() // +1 for genesis
+	for i := 0; i < extra; i++ {
+		head := c.Head()
+		c = c.Append(NewBlock(head.ID, head.Height+1, 9, seed*7777+i, []byte{0xAA, byte(i)}))
+	}
+	return c
+}
+
+func TestGenesisChain(t *testing.T) {
+	gc := GenesisChain()
+	if gc.Len() != 1 || !gc.Head().IsGenesis() || gc.Height() != 0 {
+		t.Fatalf("bad genesis chain: %v", gc)
+	}
+	if !gc.WellFormed() {
+		t.Fatal("genesis chain not well formed")
+	}
+}
+
+func TestChainAppendDoesNotAlias(t *testing.T) {
+	a := mkChain(3, 1)
+	b := a.Append(NewBlock(a.Head().ID, 4, 0, 99, nil))
+	if a.Len() != 4 || b.Len() != 5 {
+		t.Fatalf("lengths %d/%d", a.Len(), b.Len())
+	}
+	// Appending to a again must not clobber b's extra element.
+	c := a.Append(NewBlock(a.Head().ID, 4, 0, 100, nil))
+	if b[4].ID == c[4].ID {
+		t.Fatal("appends aliased the same backing array")
+	}
+}
+
+func TestPrefixBasics(t *testing.T) {
+	c := mkChain(5, 2)
+	for i := 0; i <= 5; i++ {
+		if !c[:i+1].Prefix(c) {
+			t.Errorf("prefix of length %d not recognized", i)
+		}
+	}
+	if c.Prefix(c[:3]) {
+		t.Error("longer chain prefixes shorter")
+	}
+	other := forkOf(c, 2, 3, 3)
+	if c.Prefix(other) || other.Prefix(c) {
+		t.Error("diverged chains reported as prefixes")
+	}
+	if !c.Comparable(c[:4]) || c.Comparable(other) {
+		t.Error("Comparable wrong")
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	c := mkChain(6, 4)
+	f := forkOf(c, 3, 2, 5)
+	cp := c.CommonPrefix(f)
+	if cp.Height() != 3 {
+		t.Fatalf("common prefix height %d, want 3", cp.Height())
+	}
+	if !cp.Prefix(c) || !cp.Prefix(f) {
+		t.Fatal("common prefix does not prefix both")
+	}
+	// Identical chains: common prefix is the whole chain.
+	if got := c.CommonPrefix(c.Clone()); got.Len() != c.Len() {
+		t.Fatalf("self common prefix length %d", got.Len())
+	}
+}
+
+func TestChainBlockAccess(t *testing.T) {
+	c := mkChain(4, 6)
+	if c.Block(0) == nil || !c.Block(0).IsGenesis() {
+		t.Fatal("Block(0) not genesis")
+	}
+	if c.Block(4) != c.Head() {
+		t.Fatal("Block(4) not head")
+	}
+	if c.Block(5) != nil || c.Block(-1) != nil {
+		t.Fatal("out-of-range access not nil")
+	}
+}
+
+func TestWellFormedRejects(t *testing.T) {
+	c := mkChain(3, 7)
+	// Broken link.
+	bad := c.Clone()
+	bad[2] = NewBlock("wrong-parent", 2, 0, 1, nil)
+	if bad.WellFormed() {
+		t.Error("broken link accepted")
+	}
+	// Wrong height.
+	bad2 := c.Clone()
+	blk := *bad2[2]
+	blk.Height = 7
+	bad2[2] = &blk
+	if bad2.WellFormed() {
+		t.Error("wrong height accepted")
+	}
+	// Missing genesis.
+	if c[1:].WellFormed() {
+		t.Error("chain without genesis accepted")
+	}
+	// Empty chain.
+	if (Chain{}).WellFormed() {
+		t.Error("empty chain accepted")
+	}
+}
+
+func TestEqualAndIDs(t *testing.T) {
+	c := mkChain(3, 8)
+	if !c.Equal(c.Clone()) {
+		t.Fatal("clone not equal")
+	}
+	if c.Equal(c[:3]) {
+		t.Fatal("different lengths equal")
+	}
+	ids := c.IDs()
+	if len(ids) != 4 || ids[0] != GenesisID {
+		t.Fatalf("IDs wrong: %v", ids)
+	}
+}
+
+func TestChainString(t *testing.T) {
+	if (Chain{}).String() != "ε" {
+		t.Errorf("empty chain string %q", (Chain{}).String())
+	}
+	s := mkChain(2, 9).String()
+	if s == "" || s[0:2] != "b0" {
+		t.Errorf("chain string %q", s)
+	}
+}
+
+func TestScoreMonotonicity(t *testing.T) {
+	for _, sc := range []Score{LengthScore{}, WeightScore{}} {
+		c := GenesisChain()
+		prev := sc.Of(c)
+		for i := 1; i <= 10; i++ {
+			head := c.Head()
+			b := NewBlock(head.ID, head.Height+1, 0, i, nil).WithWeight(i%3 + 1)
+			c = c.Append(b)
+			cur := sc.Of(c)
+			if cur <= prev {
+				t.Fatalf("%s not strictly monotonic: %d then %d", sc.Name(), prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestWeightScore(t *testing.T) {
+	c := GenesisChain()
+	head := c.Head()
+	b1 := NewBlock(head.ID, 1, 0, 1, nil).WithWeight(3)
+	c = c.Append(b1)
+	b2 := NewBlock(b1.ID, 2, 0, 2, nil).WithWeight(4)
+	c = c.Append(b2)
+	if got := (WeightScore{}).Of(c); got != 7 {
+		t.Fatalf("weight score %d, want 7", got)
+	}
+	if got := (LengthScore{}).Of(c); got != 2 {
+		t.Fatalf("length score %d, want 2", got)
+	}
+}
+
+func TestMCPS(t *testing.T) {
+	c := mkChain(6, 10)
+	f := forkOf(c, 2, 4, 11)
+	if got := MCPS(LengthScore{}, c, f); got != 2 {
+		t.Fatalf("mcps = %d, want 2", got)
+	}
+	if got := MCPS(LengthScore{}, c, c); got != 6 {
+		t.Fatalf("self mcps = %d, want 6", got)
+	}
+	if got := MCPS(LengthScore{}, c, GenesisChain()); got != 0 {
+		t.Fatalf("genesis mcps = %d, want 0", got)
+	}
+}
+
+// Property: the prefix relation is a partial order on generated chains
+// (reflexive, antisymmetric on distinct chains, transitive via prefixes
+// of a common chain).
+func TestQuickPrefixPartialOrder(t *testing.T) {
+	f := func(nRaw, iRaw, jRaw uint8, seed uint8) bool {
+		n := int(nRaw%10) + 2
+		c := mkChain(n, int(seed))
+		i := int(iRaw) % (n + 1)
+		j := int(jRaw) % (n + 1)
+		pi, pj := c[:i+1], c[:j+1]
+		// Reflexivity.
+		if !pi.Prefix(pi) {
+			return false
+		}
+		// Prefixes of a chain are totally ordered.
+		if !pi.Prefix(pj) && !pj.Prefix(pi) {
+			return false
+		}
+		// Antisymmetry.
+		if pi.Prefix(pj) && pj.Prefix(pi) && !pi.Equal(pj) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mcps is symmetric and bounded by both scores.
+func TestQuickMCPSBounds(t *testing.T) {
+	sc := LengthScore{}
+	f := func(nRaw, commonRaw, extraRaw uint8, seed uint8) bool {
+		n := int(nRaw%8) + 2
+		common := int(commonRaw) % n
+		extra := int(extraRaw%5) + 1
+		a := mkChain(n, int(seed))
+		b := forkOf(a, common, extra, int(seed)+1)
+		m1, m2 := MCPS(sc, a, b), MCPS(sc, b, a)
+		if m1 != m2 {
+			return false
+		}
+		return m1 <= sc.Of(a) && m1 <= sc.Of(b) && m1 == common
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CommonPrefix returns the longest chain that prefixes both.
+func TestQuickCommonPrefixMaximal(t *testing.T) {
+	f := func(nRaw, commonRaw uint8, seed uint8) bool {
+		n := int(nRaw%8) + 2
+		common := int(commonRaw) % n
+		a := mkChain(n, int(seed))
+		b := forkOf(a, common, 2, int(seed)+3)
+		cp := a.CommonPrefix(b)
+		if !cp.Prefix(a) || !cp.Prefix(b) {
+			return false
+		}
+		// One block longer is no longer a common prefix.
+		if cp.Len() < a.Len() && cp.Len() < b.Len() {
+			longer := a[:cp.Len()+1]
+			if longer.Prefix(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property of the merit-tape + score interplay used throughout: a chain
+// extended by any block strictly increases both built-in scores (the
+// paper's monotonicity requirement on score functions).
+func TestQuickScoreStrictGrowth(t *testing.T) {
+	f := func(nRaw uint8, w uint8, seed uint8) bool {
+		n := int(nRaw % 10)
+		c := mkChain(n, int(seed))
+		head := c.Head()
+		b := NewBlock(head.ID, head.Height+1, 1, 999, nil).WithWeight(int(w%9) + 1)
+		c2 := c.Append(b)
+		return LengthScore{}.Of(c2) > LengthScore{}.Of(c) &&
+			WeightScore{}.Of(c2) > WeightScore{}.Of(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package core implements the BlockTree data structure of Section 3.1 of
+// "Blockchain Abstract Data Type" (Anceaume et al., SPAA 2019): a directed
+// rooted tree bt = (V_bt, E_bt) whose vertices are blocks, whose edges
+// point backward to the genesis block b0, together with the selection
+// functions f ∈ F (longest chain, heaviest chain, GHOST), the monotonic
+// score functions over blockchains, the validity predicate P, and the
+// prefix relation ⊑ used by the consistency criteria.
+//
+// The package is purely sequential; concurrency appears only in the
+// layers above (internal/replica, internal/concur, internal/simnet).
+package core

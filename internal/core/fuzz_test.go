@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeTxs checks that the payload parser never panics and that
+// decode ∘ encode is the identity whenever decoding succeeds.
+func FuzzDecodeTxs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTxs([]Tx{{From: 0, To: 1, Amount: 50}}))
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 36))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		txs, err := DecodeTxs(payload)
+		if err != nil {
+			return
+		}
+		re := EncodeTxs(txs)
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("decode/encode not inverse: %x → %x", payload, re)
+		}
+	})
+}
+
+// FuzzChainPrefix checks the prefix/common-prefix algebra on arbitrary
+// cut points of a fixed chain and its fork: CommonPrefix prefixes both
+// inputs and Comparable is symmetric.
+func FuzzChainPrefix(f *testing.F) {
+	base := GenesisChain()
+	for i := 1; i <= 12; i++ {
+		h := base.Head()
+		base = base.Append(NewBlock(h.ID, h.Height+1, 0, i, []byte{byte(i)}))
+	}
+	alt := base[:5].Clone()
+	for i := 0; i < 8; i++ {
+		h := alt.Head()
+		alt = alt.Append(NewBlock(h.ID, h.Height+1, 9, 100+i, []byte{byte(i)}))
+	}
+	f.Add(uint8(3), uint8(7), true, false)
+	f.Add(uint8(12), uint8(12), false, true)
+	f.Fuzz(func(t *testing.T, aCut, bCut uint8, aAlt, bAlt bool) {
+		pick := func(cut uint8, useAlt bool) Chain {
+			c := base
+			if useAlt {
+				c = alt
+			}
+			n := int(cut) % c.Len()
+			return c[:n+1]
+		}
+		a, b := pick(aCut, aAlt), pick(bCut, bAlt)
+		cp := a.CommonPrefix(b)
+		if !cp.Prefix(a) || !cp.Prefix(b) {
+			t.Fatal("CommonPrefix does not prefix both")
+		}
+		if a.Comparable(b) != b.Comparable(a) {
+			t.Fatal("Comparable not symmetric")
+		}
+		if MCPS(LengthScore{}, a, b) != cp.Height() {
+			t.Fatal("MCPS disagrees with CommonPrefix height")
+		}
+	})
+}
+
+// FuzzTreeAttach feeds arbitrary attach schedules (parent picks drawn
+// from already-attached blocks, plus occasional garbage) and checks the
+// tree invariants are never violated and garbage is always rejected.
+func FuzzTreeAttach(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		tr := NewTree()
+		attached := []*Block{Genesis()}
+		for i, op := range schedule {
+			if op%7 == 6 {
+				// Garbage: unknown parent must be rejected.
+				if err := tr.Attach(NewBlock("nowhere", 1, 0, i, nil)); err == nil {
+					t.Fatal("orphan accepted")
+				}
+				continue
+			}
+			parent := attached[int(op)%len(attached)]
+			b := NewBlock(parent.ID, parent.Height+1, int(op)%4, i, []byte{op})
+			if err := tr.Attach(b); err != nil {
+				t.Fatalf("valid attach rejected: %v", err)
+			}
+			attached = append(attached, b)
+		}
+		if tr.Len() != len(attached) {
+			t.Fatalf("tree size %d, attached %d", tr.Len(), len(attached))
+		}
+		for _, sel := range []Selector{LongestChain{}, GHOST{}, HeaviestChain{}} {
+			if c := sel.Select(tr); !c.WellFormed() {
+				t.Fatalf("%s selected malformed chain", sel.Name())
+			}
+		}
+		if tr.SubtreeWeight(GenesisID) != tr.Len() {
+			t.Fatal("subtree weight out of sync")
+		}
+	})
+}

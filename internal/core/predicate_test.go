@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlwaysAndRejectAll(t *testing.T) {
+	b := NewBlock(GenesisID, 1, 0, 0, nil)
+	if !(AlwaysValid{}).Valid(b) || !(AlwaysValid{}).Valid(nil) {
+		t.Error("AlwaysValid rejected something")
+	}
+	if (RejectAll{}).Valid(b) {
+		t.Error("RejectAll accepted a block")
+	}
+	if !(RejectAll{}).Valid(Genesis()) {
+		t.Error("RejectAll rejected genesis (b0 ∈ B′ by assumption)")
+	}
+}
+
+func TestWellFormed(t *testing.T) {
+	b := NewBlock(GenesisID, 1, 3, 4, []byte("ok"))
+	if !(WellFormed{}).Valid(b) {
+		t.Fatal("well-formed block rejected")
+	}
+	tampered := *b
+	tampered.Payload = []byte("evil")
+	if (WellFormed{}).Valid(&tampered) {
+		t.Fatal("tampered payload accepted")
+	}
+	reparented := *b
+	reparented.Parent = "other"
+	if (WellFormed{}).Valid(&reparented) {
+		t.Fatal("reparented block accepted")
+	}
+	if (WellFormed{}).Valid(nil) {
+		t.Fatal("nil accepted")
+	}
+	if !(WellFormed{}).Valid(Genesis()) {
+		t.Fatal("genesis rejected")
+	}
+}
+
+func TestPredicateFunc(t *testing.T) {
+	p := PredicateFunc("even-rounds", func(b *Block) bool { return b.Round%2 == 0 })
+	if p.Name() != "even-rounds" {
+		t.Errorf("name %q", p.Name())
+	}
+	if !p.Valid(NewBlock(GenesisID, 1, 0, 2, nil)) || p.Valid(NewBlock(GenesisID, 1, 0, 3, nil)) {
+		t.Error("wrapped predicate misbehaves")
+	}
+}
+
+func TestTxRoundTrip(t *testing.T) {
+	txs := []Tx{{From: 0, To: 1, Amount: 50}, {From: 1, To: 2, Amount: 20}}
+	payload := EncodeTxs(txs)
+	got, err := DecodeTxs(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != txs[0] || got[1] != txs[1] {
+		t.Fatalf("round trip mismatch: %v", got)
+	}
+}
+
+func TestDecodeTxsMalformed(t *testing.T) {
+	if _, err := DecodeTxs([]byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed payload decoded")
+	}
+	got, err := DecodeTxs(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %v %v", got, err)
+	}
+}
+
+func TestLedgerPredicate(t *testing.T) {
+	p := LedgerPredicate{}
+	good := NewBlock(GenesisID, 1, 0, 1, EncodeTxs([]Tx{{From: 0, To: 1, Amount: 5}}))
+	if !p.Valid(good) {
+		t.Fatal("valid ledger block rejected")
+	}
+	bad := NewBlock(GenesisID, 1, 0, 1, []byte{1, 2, 3})
+	if p.Valid(bad) {
+		t.Fatal("unparseable payload accepted")
+	}
+	if !p.Valid(Genesis()) {
+		t.Fatal("genesis rejected")
+	}
+}
+
+func TestLedgerStateOverdraft(t *testing.T) {
+	l := NewLedgerState()
+	if err := l.ApplyTx(Tx{From: 0, To: 1, Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ApplyTx(Tx{From: 1, To: 2, Amount: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(1) != 6 || l.Balance(2) != 4 {
+		t.Fatalf("balances %d/%d", l.Balance(1), l.Balance(2))
+	}
+	if err := l.ApplyTx(Tx{From: 1, To: 2, Amount: 100}); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+}
+
+func TestReplayDetectsDoubleSpend(t *testing.T) {
+	g := Genesis()
+	mint := NewBlock(g.ID, 1, 0, 1, EncodeTxs([]Tx{{From: 0, To: 1, Amount: 10}}))
+	spend := NewBlock(mint.ID, 2, 0, 2, EncodeTxs([]Tx{{From: 1, To: 2, Amount: 10}}))
+	doubleSpend := NewBlock(spend.ID, 3, 0, 3, EncodeTxs([]Tx{{From: 1, To: 3, Amount: 10}}))
+
+	ok := Chain{g, mint, spend}
+	if _, err := Replay(ok); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := Chain{g, mint, spend, doubleSpend}
+	if _, err := Replay(bad); err == nil {
+		t.Fatal("double spend not detected")
+	}
+}
+
+func TestReplayBalances(t *testing.T) {
+	g := Genesis()
+	b1 := NewBlock(g.ID, 1, 0, 1, EncodeTxs([]Tx{{From: 0, To: 1, Amount: 50}}))
+	b2 := NewBlock(b1.ID, 2, 0, 2, EncodeTxs([]Tx{{From: 1, To: 2, Amount: 30}}))
+	st, err := Replay(Chain{g, b1, b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Balance(1) != 20 || st.Balance(2) != 30 {
+		t.Fatalf("balances %d/%d", st.Balance(1), st.Balance(2))
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary tx vectors.
+func TestQuickTxRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var txs []Tx
+		for i := 0; i+2 < len(raw); i += 3 {
+			txs = append(txs, Tx{From: raw[i], To: raw[i+1], Amount: raw[i+2]})
+		}
+		got, err := DecodeTxs(EncodeTxs(txs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(txs) {
+			return false
+		}
+		for i := range txs {
+			if got[i] != txs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a mint-then-spend-within-balance chain always replays.
+func TestQuickReplayWithinBalance(t *testing.T) {
+	f := func(mintRaw, spendRaw uint16) bool {
+		mintAmt := uint32(mintRaw) + 1
+		spendAmt := uint32(spendRaw) % (mintAmt + 1) // ≤ mint
+		g := Genesis()
+		b1 := NewBlock(g.ID, 1, 0, 1, EncodeTxs([]Tx{{From: 0, To: 1, Amount: mintAmt}}))
+		b2 := NewBlock(b1.ID, 2, 0, 2, EncodeTxs([]Tx{{From: 1, To: 2, Amount: spendAmt}}))
+		st, err := Replay(Chain{g, b1, b2})
+		if err != nil {
+			return false
+		}
+		return st.Balance(1) == uint64(mintAmt-spendAmt) && st.Balance(2) == uint64(spendAmt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

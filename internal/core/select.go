@@ -1,0 +1,123 @@
+package core
+
+// Selector is the paper's selection function f ∈ F : BT → BC. It picks
+// one blockchain out of the BlockTree — the chain a read() returns and
+// the chain whose head an append() extends. The paper leaves f generic;
+// the three instances here cover the systems of Section 5:
+//
+//   - LongestChain: Bitcoin's rule (most blocks, lexicographic tiebreak —
+//     the convention used in the paper's Figure 2);
+//   - HeaviestChain: most cumulative work along a single path;
+//   - GHOST: Ethereum's greedy heaviest-observed-subtree walk.
+//
+// All selectors are deterministic: given equal trees they return equal
+// chains, as required for f to be a function.
+type Selector interface {
+	// Select returns the selected blockchain including the genesis
+	// block ({b0}⌢f(bt) in the paper's notation; per the paper's
+	// Section 4.3 convention we fold b0 into the returned chain).
+	Select(*Tree) Chain
+	// Name identifies the selector for reports.
+	Name() string
+}
+
+// LongestChain selects the chain to the highest leaf; among equally high
+// leaves it picks the one whose head has the lexicographically largest ID
+// (Figure 2's convention: "in case of equality, selects the largest based
+// on the lexicographical order").
+type LongestChain struct{}
+
+// Select walks all leaves and returns the longest chain.
+func (LongestChain) Select(t *Tree) Chain {
+	var best BlockID
+	bestH := -1
+	for _, leaf := range t.Leaves() {
+		b := t.Block(leaf)
+		if b.Height > bestH || (b.Height == bestH && leaf > best) {
+			best, bestH = leaf, b.Height
+		}
+	}
+	if bestH < 0 {
+		return GenesisChain()
+	}
+	return t.ChainTo(best)
+}
+
+// Name returns "longest".
+func (LongestChain) Name() string { return "longest" }
+
+// HeaviestChain selects the chain with the largest cumulative block
+// weight (ties broken lexicographically by head ID). With unit weights it
+// coincides with LongestChain.
+type HeaviestChain struct{}
+
+// Select returns the heaviest root-to-leaf path.
+func (HeaviestChain) Select(t *Tree) Chain {
+	var best BlockID
+	bestW := -1
+	sc := WeightScore{}
+	for _, leaf := range t.Leaves() {
+		w := sc.Of(t.ChainTo(leaf))
+		if w > bestW || (w == bestW && leaf > best) {
+			best, bestW = leaf, w
+		}
+	}
+	if bestW < 0 {
+		return GenesisChain()
+	}
+	return t.ChainTo(best)
+}
+
+// Name returns "heaviest".
+func (HeaviestChain) Name() string { return "heaviest" }
+
+// GHOST implements the Greedy Heaviest-Observed SubTree rule used by
+// Ethereum (Sompolinsky & Zohar): starting from genesis, repeatedly
+// descend into the child whose subtree has the largest total weight
+// (ties broken lexicographically) until reaching a leaf.
+type GHOST struct{}
+
+// Select performs the greedy heaviest-subtree descent.
+func (GHOST) Select(t *Tree) Chain {
+	cur := t.Root().ID
+	chain := Chain{t.Root()}
+	for {
+		ch := t.Children(cur)
+		if len(ch) == 0 {
+			return chain
+		}
+		best := ch[0]
+		bestW := t.SubtreeWeight(best)
+		for _, c := range ch[1:] {
+			w := t.SubtreeWeight(c)
+			if w > bestW || (w == bestW && c > best) {
+				best, bestW = c, w
+			}
+		}
+		chain = append(chain, t.Block(best))
+		cur = best
+	}
+}
+
+// Name returns "ghost".
+func (GHOST) Name() string { return "ghost" }
+
+// SingleChain is the trivial projection used by consortium systems whose
+// BlockTree contains a unique blockchain (Red Belly, Fabric): it asserts
+// the tree is fork-free and returns its only maximal chain. If the tree
+// does fork (a protocol bug), it degrades to LongestChain so that the
+// consistency checkers can observe and report the anomaly.
+type SingleChain struct{}
+
+// Select returns the unique chain of a fork-free tree.
+func (SingleChain) Select(t *Tree) Chain {
+	if t.MaxForkDegree() <= 1 {
+		// Fork-free: exactly one leaf.
+		leaves := t.Leaves()
+		return t.ChainTo(leaves[0])
+	}
+	return LongestChain{}.Select(t)
+}
+
+// Name returns "single".
+func (SingleChain) Name() string { return "single" }

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is the BlockTree bt = (V_bt, E_bt): a rooted tree of blocks with
+// every edge pointing back toward the genesis block. The zero value is
+// not usable; construct with NewTree.
+//
+// Tree offers two mutation layers:
+//
+//   - Attach(b): the replica-level update operation of Section 4.2 —
+//     insert a block under an arbitrary existing parent (this is how
+//     forks arise);
+//   - the BT-ADT append()/read() of Definition 3.1 lives in the adt and
+//     refine packages, built on top of Attach and a Selector.
+//
+// Tree is not safe for concurrent use; each simulated process owns its
+// replica (internal/replica), and shared-memory experiments wrap it.
+type Tree struct {
+	blocks   map[BlockID]*Block
+	children map[BlockID][]BlockID
+	root     *Block
+	// subtreeWeight caches, per block, the total weight of the subtree
+	// rooted there; maintained incrementally on Attach for GHOST.
+	subtreeWeight map[BlockID]int
+}
+
+// NewTree returns a BlockTree containing only the genesis block b0.
+func NewTree() *Tree {
+	g := Genesis()
+	t := &Tree{
+		blocks:        map[BlockID]*Block{g.ID: g},
+		children:      make(map[BlockID][]BlockID),
+		root:          g,
+		subtreeWeight: map[BlockID]int{g.ID: g.Weight},
+	}
+	return t
+}
+
+// Root returns the genesis block.
+func (t *Tree) Root() *Block { return t.root }
+
+// Len returns the number of blocks in the tree, genesis included.
+func (t *Tree) Len() int { return len(t.blocks) }
+
+// Block returns the block with the given ID, or nil if absent.
+func (t *Tree) Block(id BlockID) *Block { return t.blocks[id] }
+
+// Has reports whether the tree contains a block with the given ID.
+func (t *Tree) Has(id BlockID) bool { _, ok := t.blocks[id]; return ok }
+
+// Attach inserts block b under its parent. It returns an error if the
+// parent is unknown, the height is inconsistent, or a different block
+// with the same ID is already present. Attaching an identical block
+// twice is idempotent (duplicate delivery in the network simulator).
+func (t *Tree) Attach(b *Block) error {
+	if b == nil {
+		return fmt.Errorf("core: attach nil block")
+	}
+	if b.IsGenesis() {
+		return nil // genesis is always present
+	}
+	if existing, ok := t.blocks[b.ID]; ok {
+		if existing.Parent != b.Parent || existing.Height != b.Height {
+			return fmt.Errorf("core: conflicting block %s already attached", b.ID.Short())
+		}
+		return nil
+	}
+	parent, ok := t.blocks[b.Parent]
+	if !ok {
+		return fmt.Errorf("core: parent %s of %s not in tree", b.Parent.Short(), b.ID.Short())
+	}
+	if b.Height != parent.Height+1 {
+		return fmt.Errorf("core: block %s height %d, want %d", b.ID.Short(), b.Height, parent.Height+1)
+	}
+	t.blocks[b.ID] = b
+	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
+	// Keep sibling order deterministic regardless of arrival order so
+	// that tie-breaking selectors are reproducible.
+	sort.Slice(t.children[b.Parent], func(i, j int) bool {
+		return t.children[b.Parent][i] < t.children[b.Parent][j]
+	})
+	t.subtreeWeight[b.ID] = b.Weight
+	for p := b.Parent; p != ""; {
+		t.subtreeWeight[p] += b.Weight
+		pb := t.blocks[p]
+		p = pb.Parent
+	}
+	return nil
+}
+
+// Children returns the IDs of the blocks chaining to id, in lexicographic
+// order (deterministic). The returned slice must not be modified.
+func (t *Tree) Children(id BlockID) []BlockID { return t.children[id] }
+
+// ForkCount returns the number of children of id — the number of branches
+// (forks) rooted at that block, the quantity bounded by the frugal oracle.
+func (t *Tree) ForkCount(id BlockID) int { return len(t.children[id]) }
+
+// MaxForkDegree returns the largest number of branches from any single
+// block in the tree; 1 (or 0 for a bare genesis) means the tree is a
+// chain. Used to verify k-Fork Coherence empirically.
+func (t *Tree) MaxForkDegree() int {
+	max := 0
+	for _, ch := range t.children {
+		if len(ch) > max {
+			max = len(ch)
+		}
+	}
+	return max
+}
+
+// SubtreeWeight returns the total weight of the subtree rooted at id
+// (the block's own weight included). Used by the GHOST selector.
+func (t *Tree) SubtreeWeight(id BlockID) int { return t.subtreeWeight[id] }
+
+// Leaves returns the IDs of all leaves, in lexicographic order.
+func (t *Tree) Leaves() []BlockID {
+	var out []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ChainTo returns the blockchain {b0}⌢...⌢{b_id}, or nil if id is not in
+// the tree. This is the path from the leaf back to the root, reversed to
+// root-first order.
+func (t *Tree) ChainTo(id BlockID) Chain {
+	b, ok := t.blocks[id]
+	if !ok {
+		return nil
+	}
+	depth := b.Height + 1
+	out := make(Chain, depth)
+	for i := depth - 1; i >= 0; i-- {
+		out[i] = b
+		b = t.blocks[b.Parent]
+	}
+	return out
+}
+
+// Height returns the maximum block height present in the tree.
+func (t *Tree) Height() int {
+	h := 0
+	for _, b := range t.blocks {
+		if b.Height > h {
+			h = b.Height
+		}
+	}
+	return h
+}
+
+// Blocks returns every block in the tree in (height, ID) order.
+// The genesis block comes first.
+func (t *Tree) Blocks() []*Block {
+	out := make([]*Block, 0, len(t.blocks))
+	for _, b := range t.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Height != out[j].Height {
+			return out[i].Height < out[j].Height
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Clone returns a deep copy of the tree structure (block pointers are
+// shared; blocks are immutable).
+func (t *Tree) Clone() *Tree {
+	nt := &Tree{
+		blocks:        make(map[BlockID]*Block, len(t.blocks)),
+		children:      make(map[BlockID][]BlockID, len(t.children)),
+		root:          t.root,
+		subtreeWeight: make(map[BlockID]int, len(t.subtreeWeight)),
+	}
+	for id, b := range t.blocks {
+		nt.blocks[id] = b
+	}
+	for id, ch := range t.children {
+		cp := make([]BlockID, len(ch))
+		copy(cp, ch)
+		nt.children[id] = cp
+	}
+	for id, w := range t.subtreeWeight {
+		nt.subtreeWeight[id] = w
+	}
+	return nt
+}
+
+// String summarizes the tree, e.g. "tree(7 blocks, height 4, maxfork 2)".
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree(%d blocks, height %d, maxfork %d)", t.Len(), t.Height(), t.MaxForkDegree())
+}

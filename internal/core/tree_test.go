@@ -1,0 +1,316 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// child makes a block under parent with a distinguishing round.
+func child(parent *Block, creator, round int) *Block {
+	return NewBlock(parent.ID, parent.Height+1, creator, round, []byte{byte(round)})
+}
+
+// buildTree attaches a set of blocks and fails the test on error.
+func buildTree(t *testing.T, blocks ...*Block) *Tree {
+	t.Helper()
+	tr := NewTree()
+	for _, b := range blocks {
+		if err := tr.Attach(b); err != nil {
+			t.Fatalf("attach %s: %v", b.ID.Short(), err)
+		}
+	}
+	return tr
+}
+
+func TestNewTreeHasGenesis(t *testing.T) {
+	tr := NewTree()
+	if tr.Len() != 1 || !tr.Has(GenesisID) || tr.Root().ID != GenesisID {
+		t.Fatalf("fresh tree wrong: %v", tr)
+	}
+	if tr.Height() != 0 || tr.MaxForkDegree() != 0 {
+		t.Fatalf("fresh tree metrics wrong: %v", tr)
+	}
+}
+
+func TestAttachChain(t *testing.T) {
+	g := Genesis()
+	b1 := child(g, 0, 1)
+	b2 := child(b1, 0, 2)
+	tr := buildTree(t, b1, b2)
+	if tr.Len() != 3 || tr.Height() != 2 {
+		t.Fatalf("tree %v", tr)
+	}
+	c := tr.ChainTo(b2.ID)
+	if c.Height() != 2 || !c.WellFormed() {
+		t.Fatalf("chain %v", c)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Attach(nil); err == nil {
+		t.Error("nil attach accepted")
+	}
+	orphan := NewBlock("nonexistent", 1, 0, 1, nil)
+	if err := tr.Attach(orphan); err == nil {
+		t.Error("orphan attach accepted")
+	}
+	wrongHeight := NewBlock(GenesisID, 5, 0, 1, nil)
+	if err := tr.Attach(wrongHeight); err == nil {
+		t.Error("wrong-height attach accepted")
+	}
+}
+
+func TestAttachIdempotentAndConflict(t *testing.T) {
+	g := Genesis()
+	b1 := child(g, 0, 1)
+	tr := buildTree(t, b1)
+	if err := tr.Attach(b1); err != nil {
+		t.Fatalf("duplicate attach rejected: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("duplicate attach changed size: %d", tr.Len())
+	}
+	// Same ID, different parent: conflict.
+	evil := *b1
+	evil.Parent = "elsewhere"
+	if err := tr.Attach(&evil); err == nil {
+		t.Error("conflicting attach accepted")
+	}
+}
+
+func TestAttachGenesisNoop(t *testing.T) {
+	tr := NewTree()
+	if err := tr.Attach(Genesis()); err != nil {
+		t.Fatalf("genesis attach errored: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("genesis attach changed size")
+	}
+}
+
+func TestForkCounting(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(g, 1, 2)
+	c := child(g, 2, 3)
+	tr := buildTree(t, a, b, c)
+	if tr.ForkCount(GenesisID) != 3 || tr.MaxForkDegree() != 3 {
+		t.Fatalf("fork counts wrong: %d / %d", tr.ForkCount(GenesisID), tr.MaxForkDegree())
+	}
+	if got := len(tr.Leaves()); got != 3 {
+		t.Fatalf("leaves %d, want 3", got)
+	}
+}
+
+func TestChildrenSortedDeterministically(t *testing.T) {
+	g := Genesis()
+	blocks := []*Block{child(g, 0, 1), child(g, 1, 2), child(g, 2, 3)}
+	t1 := buildTree(t, blocks[0], blocks[1], blocks[2])
+	t2 := buildTree(t, blocks[2], blocks[0], blocks[1])
+	c1, c2 := t1.Children(GenesisID), t2.Children(GenesisID)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("children order depends on arrival order")
+		}
+	}
+}
+
+func TestSubtreeWeight(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1) // weight 1
+	b := child(a, 0, 2).WithWeight(3)
+	c := child(g, 1, 3).WithWeight(2)
+	tr := buildTree(t, a, b, c)
+	if got := tr.SubtreeWeight(a.ID); got != 4 {
+		t.Errorf("subtree(a) = %d, want 4", got)
+	}
+	if got := tr.SubtreeWeight(c.ID); got != 2 {
+		t.Errorf("subtree(c) = %d, want 2", got)
+	}
+	if got := tr.SubtreeWeight(GenesisID); got != 7 { // 1(g)+1(a)+3(b)+2(c)
+		t.Errorf("subtree(g) = %d, want 7", got)
+	}
+}
+
+func TestChainToMissing(t *testing.T) {
+	tr := NewTree()
+	if tr.ChainTo("missing") != nil {
+		t.Fatal("ChainTo of missing block not nil")
+	}
+}
+
+func TestBlocksOrdered(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(a, 0, 2)
+	c := child(g, 1, 3)
+	tr := buildTree(t, a, b, c)
+	bs := tr.Blocks()
+	if len(bs) != 4 || !bs[0].IsGenesis() {
+		t.Fatalf("Blocks() wrong: %v", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Height < bs[i-1].Height {
+			t.Fatal("Blocks() not height ordered")
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	tr := buildTree(t, a)
+	cl := tr.Clone()
+	b := child(a, 0, 2)
+	if err := tr.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Has(b.ID) {
+		t.Fatal("clone sees later attach")
+	}
+	if cl.SubtreeWeight(GenesisID) == tr.SubtreeWeight(GenesisID) {
+		t.Fatal("clone weight cache shared")
+	}
+}
+
+func TestSelectorsOnChain(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(a, 0, 2)
+	tr := buildTree(t, a, b)
+	for _, f := range []Selector{LongestChain{}, HeaviestChain{}, GHOST{}, SingleChain{}} {
+		got := f.Select(tr)
+		if got.Height() != 2 || got.Head().ID != b.ID {
+			t.Errorf("%s on a chain selected %v", f.Name(), got)
+		}
+	}
+}
+
+func TestLongestChainTieBreak(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(g, 1, 2)
+	tr := buildTree(t, a, b)
+	got := LongestChain{}.Select(tr)
+	want := a.ID
+	if b.ID > a.ID {
+		want = b.ID
+	}
+	if got.Head().ID != want {
+		t.Fatalf("tie break selected %s, want lexicographically largest %s",
+			got.Head().ID.Short(), want.Short())
+	}
+	// Determinism.
+	if got2 := (LongestChain{}).Select(tr); !got.Equal(got2) {
+		t.Fatal("selector not deterministic")
+	}
+}
+
+func TestHeaviestVsLongest(t *testing.T) {
+	g := Genesis()
+	// Short heavy branch vs long light branch.
+	heavy := child(g, 0, 1).WithWeight(10)
+	l1 := child(g, 1, 2)
+	l2 := child(l1, 1, 3)
+	l3 := child(l2, 1, 4)
+	tr := buildTree(t, heavy, l1, l2, l3)
+	if got := (LongestChain{}).Select(tr); got.Head().ID != l3.ID {
+		t.Fatalf("longest selected %v", got)
+	}
+	if got := (HeaviestChain{}).Select(tr); got.Head().ID != heavy.ID {
+		t.Fatalf("heaviest selected %v", got)
+	}
+}
+
+// TestGHOSTDiffersFromLongest reproduces the classical GHOST example: a
+// heavily-forked subtree outweighs a longer single chain.
+func TestGHOSTDiffersFromLongest(t *testing.T) {
+	g := Genesis()
+	// Subtree under a: 1 block + 3 forked children (total weight 4).
+	a := child(g, 0, 1)
+	a1 := child(a, 1, 2)
+	a2 := child(a, 2, 3)
+	a3 := child(a, 3, 4)
+	// Chain under b: length 3 (weight 3) — longer path, lighter tree.
+	b := child(g, 4, 5)
+	b1 := child(b, 4, 6)
+	b2 := child(b1, 4, 7)
+	tr := buildTree(t, a, a1, a2, a3, b, b1, b2)
+
+	long := LongestChain{}.Select(tr)
+	if long.Head().ID != b2.ID {
+		t.Fatalf("longest selected %v, want the b-chain", long)
+	}
+	gh := GHOST{}.Select(tr)
+	if gh.Block(1).ID != a.ID {
+		t.Fatalf("GHOST first step selected %s, want the heavy subtree root %s",
+			gh.Block(1).ID.Short(), a.ID.Short())
+	}
+	if gh.Height() != 2 {
+		t.Fatalf("GHOST chain height %d, want 2", gh.Height())
+	}
+}
+
+func TestSingleChainFallsBackOnFork(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(g, 1, 2)
+	tr := buildTree(t, a, b)
+	got := SingleChain{}.Select(tr)
+	want := LongestChain{}.Select(tr)
+	if !got.Equal(want) {
+		t.Fatal("SingleChain fallback differs from LongestChain")
+	}
+}
+
+// Property: any sequence of valid attaches keeps every selector's chain
+// well-formed and rooted at genesis, and subtree weights consistent.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTree()
+		parents := []*Block{Genesis()}
+		for i, op := range ops {
+			p := parents[int(op)%len(parents)]
+			b := child(p, int(op)%3, i)
+			if err := tr.Attach(b); err != nil {
+				return false
+			}
+			parents = append(parents, b)
+		}
+		for _, f := range []Selector{LongestChain{}, HeaviestChain{}, GHOST{}} {
+			c := f.Select(tr)
+			if !c.WellFormed() {
+				return false
+			}
+		}
+		// Root subtree weight equals total block count (unit weights).
+		return tr.SubtreeWeight(GenesisID) == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GHOST and HeaviestChain agree on fork-free trees.
+func TestQuickSelectorsAgreeOnChains(t *testing.T) {
+	f := func(nRaw uint8, seed uint8) bool {
+		n := int(nRaw % 12)
+		tr := NewTree()
+		p := Genesis()
+		for i := 0; i < n; i++ {
+			b := child(p, int(seed), i)
+			if tr.Attach(b) != nil {
+				return false
+			}
+			p = b
+		}
+		a := GHOST{}.Select(tr)
+		b := HeaviestChain{}.Select(tr)
+		c := LongestChain{}.Select(tr)
+		return a.Equal(b) && b.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

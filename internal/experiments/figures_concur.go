@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/concur"
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+// Figure9 races n goroutines on the consumeToken(k=1) object and on a
+// native Compare&Swap, checking they agree operation-for-operation on
+// the single-winner semantics of Figure 9: exactly one insert succeeds,
+// every later call returns the winner.
+func Figure9(seed uint64) *Result {
+	res := &Result{ID: "Figure 9", Title: "consumeToken(k=1) vs compare&swap", OK: true}
+	const n = 8
+	ct := &concur.CTk1{}
+	var cas concur.CAS[core.BlockID]
+
+	blocks := make([]*core.Block, n)
+	for i := range blocks {
+		blocks[i] = core.NewBlock(core.GenesisID, 1, i, int(seed%1000)+i, []byte{byte(i)}).
+			WithToken(oracle.TokenName(core.GenesisID))
+	}
+
+	var wg sync.WaitGroup
+	ctWins := make([]bool, n)
+	casWins := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ret := ct.ConsumeToken(blocks[i])
+			ctWins[i] = len(ret) == 1 && ret[0].ID == blocks[i].ID
+			prev := cas.CompareAndSwap("", blocks[i].ID)
+			casWins[i] = prev == ""
+		}(i)
+	}
+	wg.Wait()
+
+	countCT, countCAS := 0, 0
+	for i := 0; i < n; i++ {
+		if ctWins[i] {
+			countCT++
+		}
+		if casWins[i] {
+			countCAS++
+		}
+	}
+	res.addf("%d goroutines raced; consumeToken winners: %d; CAS winners: %d", n, countCT, countCAS)
+	if countCT != 1 || countCAS != 1 {
+		res.OK = false
+		res.notef("both objects must admit exactly one winner")
+	}
+	k := ct.K(core.GenesisID)
+	res.addf("K[b0] = {%s} (|K|=%d, k=1)", k[0].ID.Short(), len(k))
+	if len(k) != 1 {
+		res.OK = false
+	}
+	return res
+}
+
+// Figure10 exercises the CAS-from-consumeToken reduction of Figure 10
+// (Theorem 4.1): the implemented compare&swap must return {} to exactly
+// one concurrent caller and the installed value to everyone else.
+func Figure10(seed uint64) *Result {
+	res := &Result{ID: "Figure 10", Title: "CAS implemented from consumeToken", OK: true}
+	const n = 16
+	ct := &concur.CTk1{}
+	blocks := make([]*core.Block, n)
+	for i := range blocks {
+		blocks[i] = core.NewBlock(core.GenesisID, 1, i, int(seed%1000)+i, []byte{byte(i)}).
+			WithToken(oracle.TokenName(core.GenesisID))
+	}
+
+	returns := make([][]*core.Block, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			returns[i] = concur.CASFromCT(ct, blocks[i])
+		}(i)
+	}
+	wg.Wait()
+
+	winner := ct.K(core.GenesisID)[0]
+	succ := 0
+	for i := 0; i < n; i++ {
+		if returns[i] == nil {
+			succ++
+			if winner.ID != blocks[i].ID {
+				res.OK = false
+				res.notef("caller %d saw success but K holds %s", i, winner.ID.Short())
+			}
+		} else if returns[i][0].ID != winner.ID {
+			res.OK = false
+			res.notef("caller %d saw %s, want winner %s", i, returns[i][0].ID.Short(), winner.ID.Short())
+		}
+	}
+	res.addf("%d concurrent compare&swap(K[b0], {}, b_i): %d success, %d observed winner", n, succ, n-succ)
+	if succ != 1 {
+		res.OK = false
+		res.notef("exactly one CAS must succeed, got %d", succ)
+	}
+	return res
+}
+
+// Figure11 runs protocol A (consensus from ΘF,k=1, Theorem 4.2) with n
+// concurrent proposers and checks Termination, Agreement, Integrity and
+// Validity (the decided block satisfies P and carries the oracle's
+// token).
+func Figure11(seed uint64) *Result {
+	res := &Result{ID: "Figure 11", Title: "Consensus from ΘF,k=1 (protocol A)", OK: true}
+	const n = 8
+	orc := oracle.NewFrugal(1, nil, core.WellFormed{}, seed)
+	cons, err := concur.NewOracleConsensus(orc, 0.5)
+	if err != nil {
+		res.OK = false
+		res.notef("%v", err)
+		return res
+	}
+
+	decided := make([]*core.Block, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decided[i], errs[i] = cons.Propose(i, []byte(fmt.Sprintf("proposal-%d", i)))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			res.OK = false
+			res.notef("process %d: %v", i, errs[i])
+			return res
+		}
+	}
+	first := decided[0]
+	agree := true
+	for i := 1; i < n; i++ {
+		if decided[i].ID != first.ID {
+			agree = false
+		}
+	}
+	res.addf("%d processes proposed; all decided %s (creator p%d)", n, first.ID.Short(), first.Creator)
+	if !agree {
+		res.OK = false
+		res.notef("Agreement violated")
+	}
+	if first.Token != oracle.TokenName(core.GenesisID) {
+		res.OK = false
+		res.notef("Validity violated: decided block has no genesis token")
+	}
+	if first.Creator < 0 || first.Creator >= n {
+		res.OK = false
+		res.notef("decided block from unknown process %d", first.Creator)
+	}
+	res.addf("Termination, Integrity, Agreement, Validity: verified")
+	return res
+}
+
+// Figure12 exercises the prodigal consumeToken from an atomic snapshot
+// (Figure 12, Theorem 4.3): every one of n concurrent token writes for
+// the same object succeeds (k is unbounded) and each returned scan
+// contains the caller's own token.
+func Figure12(seed uint64) *Result {
+	res := &Result{ID: "Figure 12", Title: "ΘP consumeToken from atomic snapshot", OK: true}
+	const n = 12
+	sct := concur.NewSnapshotCT(n)
+	blocks := make([]*core.Block, n)
+	for i := range blocks {
+		blocks[i] = core.NewBlock(core.GenesisID, 1, i, int(seed%1000)+i, []byte{byte(i)}).
+			WithToken(oracle.TokenName(core.GenesisID))
+	}
+
+	views := make([][]*core.Block, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = sct.ConsumeToken(i, blocks[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		found := false
+		for _, b := range views[i] {
+			if b.ID == blocks[i].ID {
+				found = true
+			}
+		}
+		if !found {
+			res.OK = false
+			res.notef("scan of writer %d misses its own token", i)
+		}
+	}
+	final := sct.K(core.GenesisID)
+	res.addf("%d concurrent consumeToken for b0: final |K| = %d (unbounded)", n, len(final))
+	if len(final) != n {
+		res.OK = false
+		res.notef("prodigal object must retain all %d tokens, has %d", n, len(final))
+	}
+	res.addf("every scan contained the caller's token: verified")
+	return res
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/oracle"
+	"repro/internal/refine"
+)
+
+// runRefined drives an R(BT-ADT, ΘF,k) object with a deterministic
+// workload (interleaved appends by two processes and periodic reads) and
+// returns the recorded history. The workload is the generator used by
+// the hierarchy experiments: the same operation schedule replayed
+// against oracles of different k.
+func runRefined(k int, seed uint64, appends int) (*history.History, *refine.BT) {
+	rec := history.NewRecorder(2, nil)
+	orc := oracle.NewFrugal(k, nil, core.WellFormed{}, seed)
+	bt := refine.New(refine.Config{Oracle: orc, Recorder: rec, Selector: core.LongestChain{}})
+	for i := 0; i < appends; i++ {
+		proc := i % 2
+		bt.Append(proc, 0.5, i, []byte{byte(i), byte(i >> 8)})
+		if i%2 == 1 {
+			bt.Read(0)
+			bt.Read(1)
+		}
+	}
+	// No extra trailing reads: the last read pair is the liveness
+	// horizon (reads with no future are exempt from Ever Growing
+	// Tree; see consistency.Checker).
+	return rec.Snapshot(), bt
+}
+
+// Figure8 regenerates the hierarchy of Figure 8 and verifies its
+// inclusion theorems empirically:
+//
+//	Thm 3.2  — histories of R(BT, ΘF,k) are k-fork coherent;
+//	Thm 3.3  — frugal histories are admissible for the prodigal type;
+//	Thm 3.4  — k1 ≤ k2 ⇒ Ĥ(ΘF,k1) ⊆ Ĥ(ΘF,k2) (fork coherence nests);
+//	Thm 3.1 / Cor 3.4.1 — every SC history is an EC history.
+func Figure8(seed uint64) *Result {
+	res := &Result{ID: "Figure 8", Title: "hierarchy of refinements", OK: true}
+	nodes, edges := refine.Hierarchy(2)
+	for _, e := range edges {
+		res.addf("%-28s ⊆ %-28s (%s)", e.From.Name(), e.To.Name(), e.Theorem)
+	}
+	res.addf("nodes: %d", len(nodes))
+
+	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
+
+	// Theorem 3.2 / 3.4: k-fork coherence nests across k.
+	for _, k := range []int{1, 2, 4} {
+		h, bt := runRefined(k, seed, 12)
+		kf := chk.KForkCoherence(h, k)
+		if !kf.OK {
+			res.OK = false
+			res.notef("Θ_F,k=%d history not %d-fork coherent: %s", k, k, kf)
+		}
+		// Nesting: also coherent at every larger bound.
+		for _, k2 := range []int{k, k + 1, oracle.Unbounded} {
+			if rep := chk.KForkCoherence(h, k2); !rep.OK {
+				res.OK = false
+				res.notef("Θ_F,k=%d history not %d-fork coherent (Thm 3.4)", k, k2)
+			}
+		}
+		_ = bt
+	}
+
+	// Strictness witness: a k=2 oracle admits two consumed tokens for
+	// b0 — a history that no k=1 refinement can generate (so the
+	// Theorem 3.4 inclusion is strict).
+	{
+		orc := oracle.NewFrugal(2, nil, core.AlwaysValid{}, seed^0x5712)
+		rec2 := history.NewRecorder(2, nil)
+		g := core.Genesis()
+		for proc := 0; proc < 2; proc++ {
+			b, _ := oracle.MineToken(orc, 0.9, g, proc, proc, []byte{byte(proc)}, 256)
+			if b != nil {
+				if _, ok := orc.ConsumeToken(b); ok {
+					rec2.Append(proc, b, true)
+				}
+			}
+		}
+		h2 := rec2.Snapshot()
+		if rep := chk.KForkCoherence(h2, 2); !rep.OK {
+			res.OK = false
+			res.notef("two-token history must be 2-fork coherent")
+		}
+		if rep := chk.KForkCoherence(h2, 1); rep.OK {
+			res.OK = false
+			res.notef("two-token history must NOT be 1-fork coherent (strictness)")
+		}
+		res.addf("strictness: Ĥ(ΘF,k=1) ⊊ Ĥ(ΘF,k=2) witnessed by a 2-fork history")
+	}
+
+	// Theorem 3.1: every SC history is EC. Sample histories from all
+	// oracle strengths; whenever SC holds, EC must hold.
+	checkedSC := 0
+	for _, k := range []int{1, 2, oracle.Unbounded} {
+		h, _ := runRefined(k, seed+uint64(k), 10)
+		sc, ec := chk.Classify(h)
+		if sc.OK {
+			checkedSC++
+			if !ec.OK {
+				res.OK = false
+				res.notef("history with SC but not EC (contradicts Thm 3.1), k=%d", k)
+			}
+		}
+	}
+	res.addf("Theorem 3.1 sampled: %d SC histories, all EC", checkedSC)
+	res.addf("Theorems 3.2/3.3/3.4 verified on generated histories")
+	return res
+}
+
+// Figure14 regenerates the message-passing hierarchy of Figure 14: the
+// Figure 8 hierarchy with the SC×(fork-allowing oracle) combinations
+// grayed out by Theorem 4.8, cross-checked against the Theorem48
+// experiment (which exhibits the Strong Prefix violation).
+func Figure14(seed uint64) *Result {
+	res := &Result{ID: "Figure 14", Title: "hierarchy in message passing", OK: true}
+	nodes, _ := refine.Hierarchy(2)
+	for _, n := range nodes {
+		tag := "implementable"
+		if !n.Feasible {
+			tag = "IMPOSSIBLE in message passing (Thm 4.8)"
+		}
+		res.addf("%-28s %s", n.Name(), tag)
+	}
+	// The infeasible set must be exactly {SC×ΘP, SC×ΘF,k>1}.
+	infeasible := 0
+	for _, n := range nodes {
+		if !n.Feasible {
+			infeasible++
+			if n.Criterion != "SC" || n.K == 1 {
+				res.OK = false
+				res.notef("unexpected infeasible node %s", n.Name())
+			}
+		}
+	}
+	if infeasible != 2 {
+		res.OK = false
+		res.notef("want 2 infeasible nodes, got %d", infeasible)
+	}
+	// Cross-check with the executable impossibility witness.
+	t48 := Theorem48(seed)
+	if !t48.OK {
+		res.OK = false
+		res.notef("Theorem 4.8 witness failed")
+	}
+	res.addf("impossibility witness (Theorem 4.8 experiment): reproduced")
+	return res
+}

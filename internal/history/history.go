@@ -1,0 +1,369 @@
+// Package history implements the concurrent-history model of Definition
+// 2.4: a history H = ⟨Σ, E, Λ, ↦, ≺, ↗⟩ where E contains operation
+// invocation and response events, ↦ is the process order, ≺ the
+// (real-time) operation order, and ↗ the program order (their union).
+// For the message-passing model of Section 4.2 the event set is extended
+// with send, receive and update events (Definition 4.2).
+//
+// Events carry a global sequence index assigned at recording time; the
+// index is a linearization of real time (virtual simulation time or a
+// shared atomic counter for true shared-memory runs), so e ≺ e′ holds
+// iff the response index of e precedes the invocation index of e′.
+package history
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// OpKind distinguishes the two BT-ADT operations.
+type OpKind uint8
+
+// The operation kinds recorded in histories.
+const (
+	OpAppend OpKind = iota
+	OpRead
+)
+
+// String returns "append" or "read".
+func (k OpKind) String() string {
+	if k == OpAppend {
+		return "append"
+	}
+	return "read"
+}
+
+// Op is one completed (or pending) BT-ADT operation: an invocation event
+// and, once present, its response event. Indices are global sequence
+// numbers; times are virtual clock readings (informational).
+type Op struct {
+	ID   int
+	Proc int
+	Kind OpKind
+
+	// Block is the argument of append(b); nil for read().
+	Block *core.Block
+	// OK is the boolean response of append().
+	OK bool
+	// Chain is the blockchain returned by read().
+	Chain core.Chain
+
+	InvIndex, RspIndex int
+	InvTime, RspTime   int64
+	// Pending marks an operation whose response has not been recorded
+	// (the process crashed or the run was truncated).
+	Pending bool
+}
+
+// Before reports the program order ր: op ր other iff op's response event
+// precedes other's invocation event. Because processes are sequential,
+// this single test covers both the process order ↦ and the real-time
+// operation order ≺ of Definition 2.4.
+func (o *Op) Before(other *Op) bool {
+	if o.Pending || other == nil {
+		return false
+	}
+	return o.RspIndex < other.InvIndex
+}
+
+// Concurrent reports whether neither operation program-order-precedes the
+// other.
+func (o *Op) Concurrent(other *Op) bool {
+	return !o.Before(other) && !other.Before(o)
+}
+
+// String renders the operation like "p1.read()/b0⌢ab12cd34 [5,9]".
+func (o *Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		if o.Pending {
+			return fmt.Sprintf("p%d.read()… [%d,-]", o.Proc, o.InvIndex)
+		}
+		return fmt.Sprintf("p%d.read()/%s [%d,%d]", o.Proc, o.Chain, o.InvIndex, o.RspIndex)
+	default:
+		if o.Pending {
+			return fmt.Sprintf("p%d.append(%s)… [%d,-]", o.Proc, o.Block.ID.Short(), o.InvIndex)
+		}
+		return fmt.Sprintf("p%d.append(%s)/%v [%d,%d]", o.Proc, o.Block.ID.Short(), o.OK, o.InvIndex, o.RspIndex)
+	}
+}
+
+// CommKind distinguishes the message-passing events of Definition 4.2.
+type CommKind uint8
+
+// The communication event kinds of Section 4.2.
+const (
+	EvSend CommKind = iota
+	EvReceive
+	EvUpdate
+)
+
+// String returns "send", "receive" or "update".
+func (k CommKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvReceive:
+		return "receive"
+	default:
+		return "update"
+	}
+}
+
+// CommEvent is a send_i(bg, b), receive_i(bg, b) or update_i(bg, b) event:
+// process Proc communicates/applies block Block under predecessor Parent.
+type CommEvent struct {
+	Kind   CommKind
+	Proc   int
+	Parent core.BlockID
+	Block  core.BlockID
+	Index  int
+	Time   int64
+}
+
+// String renders e.g. "update_2(b0, ab12cd34) @7".
+func (e CommEvent) String() string {
+	return fmt.Sprintf("%s_%d(%s, %s) @%d", e.Kind, e.Proc, e.Parent.Short(), e.Block.Short(), e.Index)
+}
+
+// History is a finite recorded prefix of a concurrent history. It is
+// immutable once built; use Recorder to construct one.
+type History struct {
+	Ops  []*Op
+	Comm []CommEvent
+	// Procs is the number of processes (ids 0..Procs-1).
+	Procs int
+	// Correct[i] reports whether process i is correct (non-faulty).
+	// Consistency criteria quantify over correct processes only
+	// (Definition 4.2). A nil slice means all processes are correct.
+	Correct []bool
+}
+
+// IsCorrect reports whether process p is correct in this history.
+func (h *History) IsCorrect(p int) bool {
+	if h.Correct == nil || p < 0 || p >= len(h.Correct) {
+		return true
+	}
+	return h.Correct[p]
+}
+
+// Reads returns the completed read operations of correct processes, in
+// response order.
+func (h *History) Reads() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Kind == OpRead && !op.Pending && h.IsCorrect(op.Proc) {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Appends returns the completed append operations (of all processes —
+// Block Validity must hold for any appended block a correct process
+// reads), in response order.
+func (h *History) Appends() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Kind == OpAppend && !op.Pending {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// SuccessfulAppends returns appends whose response was true. The
+// hierarchy theorems (3.3, 3.4) compare histories "purged of the
+// unsuccessful append() response events".
+func (h *History) SuccessfulAppends() []*Op {
+	var out []*Op
+	for _, op := range h.Appends() {
+		if op.OK {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// AppendedBlocks returns the set of block IDs successfully appended.
+func (h *History) AppendedBlocks() map[core.BlockID]*Op {
+	out := make(map[core.BlockID]*Op)
+	for _, op := range h.SuccessfulAppends() {
+		if op.Block != nil {
+			out[op.Block.ID] = op
+		}
+	}
+	return out
+}
+
+// ByProcess returns the completed operations of process p in program
+// order.
+func (h *History) ByProcess(p int) []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Proc == p && !op.Pending {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// CommOf returns the communication events of the given kind, in index
+// order.
+func (h *History) CommOf(kind CommKind) []CommEvent {
+	var out []CommEvent
+	for _, e := range h.Comm {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Purged returns a copy of the history without unsuccessful append
+// operations (the Ĥ of Section 3.4).
+func (h *History) Purged() *History {
+	nh := &History{Procs: h.Procs, Correct: h.Correct, Comm: h.Comm}
+	for _, op := range h.Ops {
+		if op.Kind == OpAppend && !op.Pending && !op.OK {
+			continue
+		}
+		nh.Ops = append(nh.Ops, op)
+	}
+	return nh
+}
+
+// String summarizes the history.
+func (h *History) String() string {
+	return fmt.Sprintf("history(%d procs, %d ops, %d comm events)", h.Procs, len(h.Ops), len(h.Comm))
+}
+
+// Recorder builds a History from concurrent processes. All methods are
+// safe for concurrent use; the global index is a single atomic sequence,
+// which makes the recorded ≺ a legal linearization of real time.
+type Recorder struct {
+	mu     sync.Mutex
+	seq    int
+	nextID int
+	ops    []*Op
+	comm   []CommEvent
+	procs  int
+	faulty map[int]bool
+	clock  func() int64
+}
+
+// NewRecorder creates a recorder for procs processes. clock supplies
+// virtual timestamps; nil means "always 0" (pure shared-memory runs where
+// only the order matters).
+func NewRecorder(procs int, clock func() int64) *Recorder {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Recorder{procs: procs, faulty: make(map[int]bool), clock: clock}
+}
+
+// MarkFaulty declares process p Byzantine/crashed; its reads are excluded
+// from criteria checks per Definition 4.2.
+func (r *Recorder) MarkFaulty(p int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faulty[p] = true
+}
+
+// InvokeRead records the invocation event of a read() by process p and
+// returns the pending operation handle.
+func (r *Recorder) InvokeRead(p int) *Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &Op{ID: r.nextID, Proc: p, Kind: OpRead, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
+	r.nextID++
+	r.seq++
+	r.ops = append(r.ops, op)
+	return op
+}
+
+// RespondRead records the response event of a pending read with the
+// returned blockchain.
+func (r *Recorder) RespondRead(op *Op, c core.Chain) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.Chain = c
+	op.RspIndex = r.seq
+	op.RspTime = r.clock()
+	op.Pending = false
+	r.seq++
+}
+
+// InvokeAppend records the invocation event of append(b) by process p.
+func (r *Recorder) InvokeAppend(p int, b *core.Block) *Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &Op{ID: r.nextID, Proc: p, Kind: OpAppend, Block: b, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
+	r.nextID++
+	r.seq++
+	r.ops = append(r.ops, op)
+	return op
+}
+
+// RespondAppend records the boolean response of a pending append. If the
+// refined append re-chained the block (the oracle granted a token for a
+// different parent), the caller passes the final block.
+func (r *Recorder) RespondAppend(op *Op, ok bool, final *core.Block) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op.OK = ok
+	if final != nil {
+		op.Block = final
+	}
+	op.RspIndex = r.seq
+	op.RspTime = r.clock()
+	op.Pending = false
+	r.seq++
+}
+
+// Read records a complete read (invocation immediately followed by
+// response) — convenient for sequential generators.
+func (r *Recorder) Read(p int, c core.Chain) *Op {
+	op := r.InvokeRead(p)
+	r.RespondRead(op, c)
+	return op
+}
+
+// Append records a complete append.
+func (r *Recorder) Append(p int, b *core.Block, ok bool) *Op {
+	op := r.InvokeAppend(p, b)
+	r.RespondAppend(op, ok, nil)
+	return op
+}
+
+// RecordComm records a send/receive/update event.
+func (r *Recorder) RecordComm(kind CommKind, p int, parent, block core.BlockID) CommEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := CommEvent{Kind: kind, Proc: p, Parent: parent, Block: block, Index: r.seq, Time: r.clock()}
+	r.seq++
+	r.comm = append(r.comm, e)
+	return e
+}
+
+// Snapshot returns the history recorded so far. The returned History
+// shares Op pointers with the recorder; callers must stop recording
+// before checking criteria (the checkers are read-only).
+func (r *Recorder) Snapshot() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := &History{Procs: r.procs}
+	h.Ops = make([]*Op, len(r.ops))
+	copy(h.Ops, r.ops)
+	h.Comm = make([]CommEvent, len(r.comm))
+	copy(h.Comm, r.comm)
+	if len(r.faulty) > 0 {
+		h.Correct = make([]bool, r.procs)
+		for i := range h.Correct {
+			h.Correct[i] = !r.faulty[i]
+		}
+	}
+	return h
+}

@@ -1,0 +1,208 @@
+package history
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func chainOf(n int) core.Chain {
+	c := core.GenesisChain()
+	for i := 1; i <= n; i++ {
+		h := c.Head()
+		c = c.Append(core.NewBlock(h.ID, h.Height+1, 0, i, []byte{byte(i)}))
+	}
+	return c
+}
+
+func TestRecorderSequentialOps(t *testing.T) {
+	rec := NewRecorder(2, nil)
+	a := rec.Append(0, chainOf(1).Head(), true)
+	r := rec.Read(1, chainOf(1))
+	h := rec.Snapshot()
+	if len(h.Ops) != 2 {
+		t.Fatalf("ops %d", len(h.Ops))
+	}
+	if !a.Before(r) {
+		t.Fatal("append not before read")
+	}
+	if r.Before(a) {
+		t.Fatal("read before append")
+	}
+}
+
+func TestPendingOps(t *testing.T) {
+	rec := NewRecorder(1, nil)
+	op := rec.InvokeRead(0)
+	h := rec.Snapshot()
+	if len(h.Reads()) != 0 {
+		t.Fatal("pending read counted as completed")
+	}
+	rec.RespondRead(op, chainOf(0))
+	h = rec.Snapshot()
+	if len(h.Reads()) != 1 {
+		t.Fatal("completed read missing")
+	}
+}
+
+func TestConcurrencyRelation(t *testing.T) {
+	rec := NewRecorder(2, nil)
+	// Two overlapping reads: inv0, inv1, rsp0, rsp1.
+	op0 := rec.InvokeRead(0)
+	op1 := rec.InvokeRead(1)
+	rec.RespondRead(op0, chainOf(0))
+	rec.RespondRead(op1, chainOf(0))
+	if !op0.Concurrent(op1) || !op1.Concurrent(op0) {
+		t.Fatal("overlapping ops not concurrent")
+	}
+	op2 := rec.Read(0, chainOf(1))
+	if !op0.Before(op2) || !op1.Before(op2) {
+		t.Fatal("later op not after both")
+	}
+}
+
+func TestByProcessOrder(t *testing.T) {
+	rec := NewRecorder(2, nil)
+	rec.Read(0, chainOf(0))
+	rec.Read(1, chainOf(0))
+	rec.Read(0, chainOf(1))
+	h := rec.Snapshot()
+	ops := h.ByProcess(0)
+	if len(ops) != 2 {
+		t.Fatalf("process 0 has %d ops", len(ops))
+	}
+	if !ops[0].Before(ops[1]) {
+		t.Fatal("process order violated")
+	}
+}
+
+func TestFaultyExclusion(t *testing.T) {
+	rec := NewRecorder(2, nil)
+	rec.Read(0, chainOf(1))
+	rec.Read(1, chainOf(2))
+	rec.MarkFaulty(1)
+	h := rec.Snapshot()
+	if !h.IsCorrect(0) || h.IsCorrect(1) {
+		t.Fatal("correctness flags wrong")
+	}
+	reads := h.Reads()
+	if len(reads) != 1 || reads[0].Proc != 0 {
+		t.Fatalf("faulty process reads not excluded: %v", reads)
+	}
+}
+
+func TestAppendsAndPurge(t *testing.T) {
+	rec := NewRecorder(1, nil)
+	b1 := chainOf(1).Head()
+	b2 := chainOf(2).Head()
+	rec.Append(0, b1, true)
+	rec.Append(0, b2, false)
+	h := rec.Snapshot()
+	if len(h.Appends()) != 2 || len(h.SuccessfulAppends()) != 1 {
+		t.Fatal("append counting wrong")
+	}
+	purged := h.Purged()
+	if len(purged.Ops) != 1 {
+		t.Fatalf("purged has %d ops, want 1", len(purged.Ops))
+	}
+	blocks := h.AppendedBlocks()
+	if len(blocks) != 1 {
+		t.Fatalf("appended blocks %d, want 1", len(blocks))
+	}
+	if _, ok := blocks[b1.ID]; !ok {
+		t.Fatal("successful append missing from AppendedBlocks")
+	}
+}
+
+func TestCommEvents(t *testing.T) {
+	rec := NewRecorder(3, func() int64 { return 42 })
+	rec.RecordComm(EvSend, 0, core.GenesisID, "b1")
+	rec.RecordComm(EvReceive, 1, core.GenesisID, "b1")
+	rec.RecordComm(EvUpdate, 1, core.GenesisID, "b1")
+	h := rec.Snapshot()
+	if len(h.Comm) != 3 {
+		t.Fatalf("comm events %d", len(h.Comm))
+	}
+	if len(h.CommOf(EvSend)) != 1 || len(h.CommOf(EvReceive)) != 1 || len(h.CommOf(EvUpdate)) != 1 {
+		t.Fatal("CommOf filters wrong")
+	}
+	if h.Comm[0].Index >= h.Comm[1].Index || h.Comm[1].Index >= h.Comm[2].Index {
+		t.Fatal("comm indices not increasing")
+	}
+	if h.Comm[0].Time != 42 {
+		t.Fatal("clock not consulted")
+	}
+}
+
+func TestRespondAppendReplacesBlock(t *testing.T) {
+	rec := NewRecorder(1, nil)
+	placeholder := &core.Block{ID: "pending"}
+	op := rec.InvokeAppend(0, placeholder)
+	final := chainOf(1).Head()
+	rec.RespondAppend(op, true, final)
+	if op.Block.ID != final.ID {
+		t.Fatal("final block not recorded")
+	}
+}
+
+// TestRecorderConcurrentSafety hammers the recorder from many goroutines;
+// run with -race to verify the locking.
+func TestRecorderConcurrentSafety(t *testing.T) {
+	rec := NewRecorder(8, nil)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				op := rec.InvokeRead(p)
+				rec.RespondRead(op, chainOf(i%3))
+				rec.RecordComm(EvSend, p, core.GenesisID, core.BlockID("x"))
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.Snapshot()
+	if len(h.Ops) != 800 || len(h.Comm) != 800 {
+		t.Fatalf("recorded %d ops, %d comm", len(h.Ops), len(h.Comm))
+	}
+	// Indices are unique and each op's invocation precedes its response.
+	seen := make(map[int]bool)
+	for _, op := range h.Ops {
+		if op.InvIndex >= op.RspIndex {
+			t.Fatal("invocation not before response")
+		}
+		if seen[op.InvIndex] || seen[op.RspIndex] {
+			t.Fatal("duplicate event index")
+		}
+		seen[op.InvIndex] = true
+		seen[op.RspIndex] = true
+	}
+}
+
+func TestOpString(t *testing.T) {
+	rec := NewRecorder(1, nil)
+	r := rec.Read(0, chainOf(1))
+	if r.String() == "" {
+		t.Fatal("empty op string")
+	}
+	pending := rec.InvokeRead(0)
+	if pending.String() == "" {
+		t.Fatal("empty pending string")
+	}
+	a := rec.Append(0, chainOf(1).Head(), true)
+	if a.String() == "" {
+		t.Fatal("empty append string")
+	}
+}
+
+func TestIsCorrectBounds(t *testing.T) {
+	h := &History{Procs: 2, Correct: []bool{true, false}}
+	if !h.IsCorrect(0) || h.IsCorrect(1) {
+		t.Fatal("IsCorrect wrong")
+	}
+	if !h.IsCorrect(-1) || !h.IsCorrect(99) {
+		t.Fatal("out-of-range processes should default to correct")
+	}
+}

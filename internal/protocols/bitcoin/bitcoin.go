@@ -1,0 +1,174 @@
+// Package bitcoin simulates the Bitcoin mapping of Section 5.1:
+// permissionless proof-of-work block creation (the getToken operation is
+// the PoW lottery, weighted by each process's normalized hashing power
+// α_p), flooding of valid blocks over reliable FIFO channels, a
+// consumeToken that accepts every valid block (no bound on consumed
+// tokens — the prodigal oracle Θ_P), and the selection function f
+// returning the longest chain. Per the paper (and Garay et al.'s
+// backbone analysis), under synchrony the system satisfies BT Eventual
+// Consistency but not BT Strong Consistency.
+package bitcoin
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+	"repro/internal/tape"
+)
+
+// Config extends the common knobs with Bitcoin-specific ones.
+type Config struct {
+	protocols.Config
+	// Difficulty divides every per-tick success probability; higher
+	// difficulty means rarer blocks and fewer natural forks.
+	Difficulty float64
+	// Delta is the synchronous network delay bound δ.
+	Delta int64
+	// DropRule optionally injects message loss (Theorem 4.6/4.7
+	// experiments). Nil means lossless.
+	DropRule simnet.DropRule
+	// RetargetEvery, when > 0, enables difficulty adjustment: after
+	// every RetargetEvery mined blocks the difficulty is rescaled so
+	// the observed inter-block spacing approaches TargetSpacing
+	// ticks (clamped to a 4× move per epoch, like the real rule).
+	// In oracle terms a retarget swaps in a fresh Θ_P whose merit
+	// mapping reflects the new difficulty — the mapping m ∈ M is an
+	// oracle parameter, so changing it means changing oracles.
+	RetargetEvery int
+	// TargetSpacing is the desired ticks-per-block under retargeting
+	// (0 means 4).
+	TargetSpacing int64
+}
+
+// Run executes the simulation and returns the recorded result.
+func Run(cfg Config) *protocols.Result {
+	merits := cfg.Norm()
+	if cfg.Difficulty <= 0 {
+		cfg.Difficulty = 8
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 3
+	}
+
+	sim := simnet.NewSim(cfg.Seed)
+	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.LongestChain{})
+	if cfg.DropRule != nil {
+		group.Net.SetDrop(cfg.DropRule)
+	}
+	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
+	group.SetPredicate(core.WellFormed{})
+	if cfg.TargetSpacing <= 0 {
+		cfg.TargetSpacing = 4
+	}
+	difficulty := cfg.Difficulty
+	orc := oracle.NewProdigal(tape.DifficultyMapping(difficulty), core.WellFormed{}, cfg.Seed^0xb17c011)
+
+	stats := map[string]int{}
+	totalGets, totalGrants, totalConsumed, totalRejected := 0, 0, 0, 0
+
+	// Difficulty retargeting state.
+	blocksInEpoch := 0
+	epochStart := int64(0)
+	epochSeed := cfg.Seed ^ 0xb17c011
+	retarget := func(now int64) {
+		elapsed := now - epochStart
+		if elapsed < 1 {
+			elapsed = 1
+		}
+		actual := float64(elapsed) / float64(cfg.RetargetEvery)
+		factor := float64(cfg.TargetSpacing) / actual
+		// Real Bitcoin clamps each retarget to a 4× move.
+		if factor > 4 {
+			factor = 4
+		}
+		if factor < 0.25 {
+			factor = 0.25
+		}
+		// Spacing below target means blocks come too fast: raise
+		// the difficulty by the same factor the spacing fell short.
+		difficulty *= factor
+		if difficulty < 1 {
+			difficulty = 1
+		}
+		g, gr, c, rj := orc.Stats()
+		totalGets += g
+		totalGrants += gr
+		totalConsumed += c
+		totalRejected += rj
+		epochSeed++
+		orc = oracle.NewProdigal(tape.DifficultyMapping(difficulty), core.WellFormed{}, epochSeed)
+		stats["retargets"]++
+		blocksInEpoch = 0
+		epochStart = now
+	}
+
+	// Mining: one getToken attempt per process per tick. A granted
+	// token is consumed immediately and the block is appended locally
+	// then flooded (update_i + send_i).
+	for round := 0; round < cfg.Rounds; round++ {
+		r := round
+		sim.Schedule(int64(round+1), func() {
+			for i, p := range group.Procs {
+				head := p.SelectedHead()
+				b, ok := orc.GetToken(merits[i], head, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+				if !ok {
+					continue
+				}
+				if _, consumed := orc.ConsumeToken(b); consumed {
+					stats["mined"]++
+					p.AppendLocal(b)
+					if cfg.RetargetEvery > 0 {
+						blocksInEpoch++
+						if blocksInEpoch >= cfg.RetargetEvery {
+							retarget(sim.Now())
+						}
+					}
+				}
+			}
+		})
+	}
+
+	// Periodic reads at every process.
+	for t := cfg.ReadEvery; t <= int64(cfg.Rounds); t += cfg.ReadEvery {
+		tt := t
+		sim.Schedule(tt, func() {
+			for _, p := range group.Procs {
+				p.Read()
+			}
+		})
+	}
+
+	sim.Run(int64(cfg.Rounds))
+	// Drain in-flight messages, then take the final convergent reads.
+	sim.RunUntilIdle()
+	for _, p := range group.Procs {
+		p.Read()
+	}
+	for _, p := range group.Procs {
+		p.Read()
+	}
+
+	res := &protocols.Result{
+		System:         "Bitcoin",
+		History:        group.History(),
+		Creators:       group.Reg.Creators(),
+		Selector:       core.LongestChain{},
+		Score:          core.LengthScore{},
+		OracleClaim:    "ΘP",
+		PaperCriterion: "EC",
+		Stats:          stats,
+	}
+	for _, p := range group.Procs {
+		res.Trees = append(res.Trees, p.Tree().Clone())
+	}
+	res.ComputeForkMax()
+	gets, grants, consumed, rejected := orc.Stats()
+	stats["getToken"] = totalGets + gets
+	stats["grants"] = totalGrants + grants
+	stats["consumed"] = totalConsumed + consumed
+	stats["rejected"] = totalRejected + rejected
+	stats["finalDifficultyPct"] = int(difficulty * 100)
+	return res
+}

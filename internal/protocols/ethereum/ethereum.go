@@ -1,0 +1,110 @@
+// Package ethereum simulates the Ethereum mapping of Section 5.2:
+// proof-of-work with a memory-hard-flavoured merit (the framework sees
+// only the normalized α_p), flooding of valid blocks, a prodigal oracle
+// (no bound on consumed tokens), and the GHOST selection function —
+// the greedy heaviest-observed-subtree rule of Sompolinsky & Zohar —
+// instead of the longest chain. Block times are faster than Bitcoin's
+// (lower difficulty), producing more natural forks, which is exactly the
+// regime GHOST was designed for. The system satisfies BT Eventual
+// Consistency (Kiayias & Panagiotakos showed common prefix + chain
+// growth for GHOST under synchrony).
+package ethereum
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+	"repro/internal/tape"
+)
+
+// Config extends the common knobs with Ethereum-specific ones.
+type Config struct {
+	protocols.Config
+	// Difficulty divides the per-tick success probability; Ethereum's
+	// default here is lower than Bitcoin's (faster blocks).
+	Difficulty float64
+	// Delta is the synchronous delay bound.
+	Delta int64
+	// DropRule optionally injects message loss.
+	DropRule simnet.DropRule
+}
+
+// Run executes the simulation.
+func Run(cfg Config) *protocols.Result {
+	merits := cfg.Norm()
+	if cfg.Difficulty <= 0 {
+		cfg.Difficulty = 3 // faster blocks than Bitcoin → more forks
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 3
+	}
+
+	sim := simnet.NewSim(cfg.Seed)
+	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.GHOST{})
+	if cfg.DropRule != nil {
+		group.Net.SetDrop(cfg.DropRule)
+	}
+	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
+	group.SetPredicate(core.WellFormed{})
+	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
+
+	stats := map[string]int{}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		r := round
+		sim.Schedule(int64(round+1), func() {
+			for i, p := range group.Procs {
+				head := p.SelectedHead()
+				b, ok := orc.GetToken(merits[i], head, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+				if !ok {
+					continue
+				}
+				if _, consumed := orc.ConsumeToken(b); consumed {
+					stats["mined"]++
+					p.AppendLocal(b)
+				}
+			}
+		})
+	}
+
+	for t := cfg.ReadEvery; t <= int64(cfg.Rounds); t += cfg.ReadEvery {
+		tt := t
+		sim.Schedule(tt, func() {
+			for _, p := range group.Procs {
+				p.Read()
+			}
+		})
+	}
+
+	sim.Run(int64(cfg.Rounds))
+	sim.RunUntilIdle()
+	for _, p := range group.Procs {
+		p.Read()
+	}
+	for _, p := range group.Procs {
+		p.Read()
+	}
+
+	res := &protocols.Result{
+		System:         "Ethereum",
+		History:        group.History(),
+		Creators:       group.Reg.Creators(),
+		Selector:       core.GHOST{},
+		Score:          core.LengthScore{},
+		OracleClaim:    "ΘP",
+		PaperCriterion: "EC",
+		Stats:          stats,
+	}
+	for _, p := range group.Procs {
+		res.Trees = append(res.Trees, p.Tree().Clone())
+	}
+	res.ComputeForkMax()
+	gets, grants, consumed, rejected := orc.Stats()
+	stats["getToken"] = gets
+	stats["grants"] = grants
+	stats["consumed"] = consumed
+	stats["rejected"] = rejected
+	return res
+}

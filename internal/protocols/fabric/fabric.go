@@ -1,0 +1,222 @@
+// Package fabric simulates the Hyperledger Fabric mapping of Section
+// 5.7: a permissioned system where transactions are executed by a set of
+// endorsers, ordered by a total-order-broadcast ordering service (a
+// sequencer here), and cut into blocks when a stop condition is met —
+// either a maximal number of transactions per block or a maximal elapsed
+// time since the first transaction of the batch, exactly the two stop
+// conditions the paper lists. A unique token per height is consumed (the
+// leader-cut block), so Fabric maps to the frugal oracle with k = 1 and
+// implements a strongly consistent BlockTree.
+package fabric
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+	"repro/internal/tape"
+)
+
+// Config extends the common knobs.
+type Config struct {
+	protocols.Config
+	// Endorsers is the number of endorsing peers (first E processes);
+	// a transaction needs a majority of endorsements. 0 means N/2+1.
+	Endorsers int
+	// MaxTxPerBlock is the block-cut size condition (0 means 4).
+	MaxTxPerBlock int
+	// MaxBatchDelay is the block-cut time condition: the maximal
+	// elapsed virtual time since the first transaction of the batch
+	// (0 means 12).
+	MaxBatchDelay int64
+	// Delta is the network delay bound.
+	Delta int64
+	// TxInterval is the virtual time between client submissions
+	// (0 means 3).
+	TxInterval int64
+}
+
+// Message types of the endorsement flow.
+type (
+	endorseReq struct {
+		Tx     core.Tx
+		Client int
+		Seq    int
+	}
+	endorseAck struct {
+		Client int
+		Seq    int
+	}
+)
+
+// Run executes the simulation.
+func Run(cfg Config) *protocols.Result {
+	cfg.Norm()
+	if cfg.Endorsers <= 0 || cfg.Endorsers > cfg.N {
+		cfg.Endorsers = cfg.N/2 + 1
+	}
+	if cfg.MaxTxPerBlock <= 0 {
+		cfg.MaxTxPerBlock = 4
+	}
+	if cfg.MaxBatchDelay <= 0 {
+		cfg.MaxBatchDelay = 12
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 2
+	}
+	if cfg.TxInterval <= 0 {
+		cfg.TxInterval = 3
+	}
+
+	sim := simnet.NewSim(cfg.Seed)
+	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
+	group.SetPredicate(core.WellFormed{})
+	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)
+	tob := consensus.NewTOB(group.Net, 0) // process 0 is the ordering service
+
+	stats := map[string]int{}
+	orderer := 0
+	need := cfg.Endorsers/2 + 1
+
+	// Endorsement bookkeeping at each client: acks per submitted tx.
+	acks := make([]map[int]int, cfg.N)
+	sent := make([]map[int]bool, cfg.N)
+	for i := range acks {
+		acks[i] = make(map[int]int)
+		sent[i] = make(map[int]bool)
+	}
+
+	// Batch state at the orderer.
+	var (
+		batch      []core.Tx
+		batchStart int64
+		height     int
+	)
+	cut := func(reason string) {
+		if len(batch) == 0 {
+			return
+		}
+		stats["blocks"]++
+		stats["cut_"+reason]++
+		parent := group.Procs[orderer].SelectedHead()
+		payload := core.EncodeTxs(batch)
+		b, ok := orc.GetToken(1, parent, orderer, height, payload)
+		if !ok || b == nil {
+			return
+		}
+		if _, consumed := orc.ConsumeToken(b); consumed {
+			stats["consumed"]++
+			group.Procs[orderer].AppendLocal(b)
+		}
+		height++
+		batch = nil
+	}
+
+	// The per-process handlers: endorsers answer endorsement
+	// requests; clients count acks and forward endorsed txs to the
+	// ordering service; the orderer batches delivered txs.
+	for i := 0; i < cfg.N; i++ {
+		id := i
+		group.Net.AddHandler(id, func(m simnet.Message) {
+			switch msg := m.Payload.(type) {
+			case endorseReq:
+				if id < cfg.Endorsers {
+					stats["endorsements"]++
+					group.Net.Send(id, msg.Client, endorseAck{Client: msg.Client, Seq: msg.Seq})
+				}
+			case endorseAck:
+				if id != msg.Client || sent[id][msg.Seq] {
+					return
+				}
+				acks[id][msg.Seq]++
+				if acks[id][msg.Seq] >= need {
+					sent[id][msg.Seq] = true
+					stats["ordered"]++
+					tx := core.Tx{From: 0, To: uint32(id + 1), Amount: uint32(msg.Seq%97 + 1)}
+					tob.Broadcast(id, tx)
+				}
+			}
+		})
+	}
+
+	// The ordering service delivers txs in total order; the orderer
+	// process batches them and cuts blocks by size or elapsed time.
+	tob.OnDeliver = func(proc, seq int, payload any) {
+		if proc != orderer {
+			return
+		}
+		tx, ok := payload.(core.Tx)
+		if !ok {
+			return
+		}
+		if len(batch) == 0 {
+			batchStart = sim.Now()
+			// Arm the time-based stop condition for this batch.
+			start := batchStart
+			sim.Schedule(cfg.MaxBatchDelay, func() {
+				if len(batch) > 0 && batchStart == start && sim.Now()-batchStart >= cfg.MaxBatchDelay {
+					cut("time")
+				}
+			})
+		}
+		batch = append(batch, tx)
+		if len(batch) >= cfg.MaxTxPerBlock {
+			cut("size")
+		}
+	}
+
+	// Clients submit transactions periodically.
+	seq := 0
+	for t := int64(1); t <= int64(cfg.Rounds)*cfg.TxInterval; t += cfg.TxInterval {
+		tt := t
+		s := seq
+		sim.Schedule(tt, func() {
+			client := int(tt) % cfg.N
+			stats["submitted"]++
+			req := endorseReq{Tx: core.Tx{From: 0, To: uint32(client + 1), Amount: 1}, Client: client, Seq: s}
+			for e := 0; e < cfg.Endorsers; e++ {
+				group.Net.Send(client, e, req)
+			}
+		})
+		seq++
+	}
+
+	// Periodic reads.
+	end := int64(cfg.Rounds)*cfg.TxInterval + cfg.MaxBatchDelay*2
+	for t := cfg.ReadEvery; t <= end; t += cfg.ReadEvery {
+		tt := t
+		sim.Schedule(tt, func() {
+			for _, p := range group.Procs {
+				p.Read()
+			}
+		})
+	}
+
+	sim.RunUntilIdle()
+	cut("final")
+	sim.RunUntilIdle()
+	for _, p := range group.Procs {
+		p.Read()
+	}
+	for _, p := range group.Procs {
+		p.Read()
+	}
+
+	res := &protocols.Result{
+		System:         "Hyperledger",
+		History:        group.History(),
+		Creators:       group.Reg.Creators(),
+		Selector:       core.SingleChain{},
+		Score:          core.LengthScore{},
+		OracleClaim:    "ΘF,k=1",
+		PaperCriterion: "SC",
+		Stats:          stats,
+	}
+	for _, p := range group.Procs {
+		res.Trees = append(res.Trees, p.Tree().Clone())
+	}
+	res.ComputeForkMax()
+	return res
+}

@@ -1,0 +1,138 @@
+// Package protocols defines the shared harness for the blockchain-system
+// simulators of Section 5 (Bitcoin, Ethereum, ByzCoin, Algorand,
+// PeerCensus, Red Belly, Hyperledger Fabric). Each simulator runs a
+// deterministic discrete-event execution on internal/simnet, producing a
+// recorded history plus the per-process replica trees; the classifier in
+// internal/experiments then derives the system's Table 1 row — which
+// oracle it implements (measured fork degree) and which consistency
+// criterion its histories satisfy — instead of asserting it.
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/tape"
+)
+
+// Config is the common knob set. Protocol-specific knobs live in each
+// sub-package's own config embedding this one.
+type Config struct {
+	// N is the number of processes.
+	N int
+	// Rounds is the number of protocol rounds (ticks / heights).
+	Rounds int
+	// Seed drives all randomness.
+	Seed uint64
+	// ReadEvery schedules a read() at every process each ReadEvery
+	// virtual-time units (0 means 10).
+	ReadEvery int64
+	// Merits are the α_p values (hashing power / stake); nil means
+	// uniform 1/N.
+	Merits []tape.Merit
+}
+
+// Norm fills defaults and returns the per-process merits normalized so
+// that Σ α_p = 1 (the convention every Section 5 mapping states).
+func (c *Config) Norm() []tape.Merit {
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.ReadEvery <= 0 {
+		c.ReadEvery = 10
+	}
+	m := c.Merits
+	if len(m) == 0 {
+		m = make([]tape.Merit, c.N)
+		for i := range m {
+			m[i] = 1
+		}
+	}
+	var sum float64
+	for _, a := range m {
+		sum += float64(a)
+	}
+	out := make([]tape.Merit, c.N)
+	for i := range out {
+		if i < len(m) && sum > 0 {
+			out[i] = tape.Merit(float64(m[i]) / sum)
+		} else {
+			out[i] = tape.Merit(1 / float64(c.N))
+		}
+	}
+	return out
+}
+
+// Result is what every protocol run returns.
+type Result struct {
+	// System names the protocol ("Bitcoin", ...).
+	System string
+	// History is the recorded concurrent history.
+	History *history.History
+	// Creators maps block ID → creating process (for Update
+	// Agreement checks).
+	Creators map[core.BlockID]int
+	// Trees are the final per-process replicas.
+	Trees []*core.Tree
+	// Selector and Score are the f and score the system uses, which
+	// the classifier must use too.
+	Selector core.Selector
+	Score    core.Score
+	// OracleClaim is the oracle the protocol *should* map to per the
+	// paper ("ΘP", "ΘF,k=1"); MeasuredForkMax is the observed maximal
+	// fork degree across replicas, the empirical check of the claim.
+	OracleClaim     string
+	MeasuredForkMax int
+	// PaperCriterion is Table 1's expected consistency class ("EC",
+	// "SC", "SC w.h.p.").
+	PaperCriterion string
+	// Stats carries protocol-specific counters for reports.
+	Stats map[string]int
+}
+
+// ComputeForkMax fills MeasuredForkMax from the replica trees.
+func (r *Result) ComputeForkMax() {
+	max := 0
+	for _, t := range r.Trees {
+		if d := t.MaxForkDegree(); d > max {
+			max = d
+		}
+	}
+	r.MeasuredForkMax = max
+}
+
+// FinalHeights returns the sorted final selected-chain heights across
+// replicas (diagnostics: convergence means the spread is small).
+func (r *Result) FinalHeights() []int {
+	out := make([]int, 0, len(r.Trees))
+	for _, t := range r.Trees {
+		out = append(out, r.Selector.Select(t).Height())
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %s, forks≤%d, heights=%v",
+		r.System, r.History, r.MeasuredForkMax, r.FinalHeights())
+}
+
+// CoinbasePayload builds the toy-ledger payload every simulator uses for
+// its blocks: a coinbase transaction minting 50 units to the creator
+// plus a transfer spending part of it, so the ledger predicate has real
+// work to do.
+func CoinbasePayload(creator int, round int) []byte {
+	txs := []core.Tx{
+		{From: 0, To: uint32(creator + 1), Amount: 50},
+	}
+	if round%3 == 0 {
+		txs = append(txs, core.Tx{From: 0, To: uint32(creator%7 + 1), Amount: uint32(round%17 + 1)})
+	}
+	return core.EncodeTxs(txs)
+}

@@ -1,0 +1,138 @@
+package refine
+
+import (
+	"fmt"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/tape"
+)
+
+// This file instantiates the refinement R(BT-ADT, Θ_F) of Definition 3.7
+// literally as an adt.Machine: the combined state ξ′ = ξ ∪ ξ_Θ holds
+// both the BlockTree and the oracle state; the input alphabet is
+// A′ = A ∪ A_Θ; and the refined append(b) input performs τ_b ∘ τ_a* —
+// the repeated application of the getToken transition until a token is
+// granted, followed by the consumeToken transition and the
+// concatenation — in one machine step, exactly as the definition says
+// the three occur atomically. The machine form exists alongside the
+// concurrent object (BT in refine.go) so that recorded words can be
+// replayed for L(R(BT-ADT, Θ)) membership, the same way the Figure 1
+// and Figure 6 experiments replay their machines.
+
+// RefState is the combined abstract state ξ′.
+type RefState struct {
+	Theta oracle.ThetaState
+	Tree  *core.Tree
+	F     core.Selector
+}
+
+// RefAppendInput is the refined append: the process's merit drives the
+// getToken* loop; Creator/Round/Payload shape the validated block.
+type RefAppendInput struct {
+	Merit   tape.Merit
+	Creator int
+	Round   int
+	Payload []byte
+	// MaxMine bounds the τ_a* repetition for finite executions
+	// (0 means 4096).
+	MaxMine int
+}
+
+// Op returns "append".
+func (r RefAppendInput) Op() string { return "append" }
+
+// Key distinguishes refined append symbols.
+func (r RefAppendInput) Key() string {
+	return fmt.Sprintf("append(α=%g,p%d,r%d)", float64(r.Merit), r.Creator, r.Round)
+}
+
+// RefReadInput is the refined read().
+type RefReadInput struct{}
+
+// Op returns "read".
+func (RefReadInput) Op() string { return "read" }
+
+// Key returns "read()".
+func (RefReadInput) Key() string { return "read()" }
+
+// NewMachine builds R(BT-ADT, Θ_F,k) as a sequential machine over tapes
+// seeded with seed. P defaults to WellFormed (modulo token stamping), f
+// to the longest chain.
+func NewMachine(k int, f core.Selector, p core.Predicate, seed uint64) *adt.Machine[RefState] {
+	if f == nil {
+		f = core.LongestChain{}
+	}
+	theta := oracle.NewThetaMachine(k, nil, orPredicate(p), seed)
+	return &adt.Machine[RefState]{
+		Name: fmt.Sprintf("R(BT-ADT, ΘF,k=%d)", k),
+		Initial: func() RefState {
+			return RefState{Theta: theta.Initial(), Tree: core.NewTree(), F: f}
+		},
+		Step: func(st RefState, in adt.Input) (RefState, adt.Output) {
+			switch sym := in.(type) {
+			case RefReadInput:
+				return st, adt.ChainOutput{Chain: st.F.Select(st.Tree)}
+			case RefAppendInput:
+				maxMine := sym.MaxMine
+				if maxMine <= 0 {
+					maxMine = 4096
+				}
+				parent := st.F.Select(st.Tree).Head()
+				// τ_a*: repeat getToken until δ_a yields a
+				// validated block.
+				ts := st.Theta
+				var validated *core.Block
+				for i := 0; i < maxMine; i++ {
+					var out adt.Output
+					ts, out = theta.Step(ts, oracle.GetTokenInput{
+						Merit:   sym.Merit,
+						Parent:  parent,
+						Creator: sym.Creator,
+						Round:   sym.Round,
+						Payload: sym.Payload,
+					})
+					if tok := out.(oracle.TokenOutput); tok.Block != nil {
+						validated = tok.Block
+						break
+					}
+				}
+				if validated == nil {
+					return RefState{Theta: ts, Tree: st.Tree, F: st.F}, adt.BoolOutput(false)
+				}
+				// τ_b: consume the token; evaluate() is true iff
+				// the validated block entered K.
+				var out adt.Output
+				ts, out = theta.Step(ts, oracle.ConsumeTokenInput{Block: validated})
+				inK := false
+				for _, b := range out.(oracle.KSetOutput).Set {
+					if b.ID == validated.ID {
+						inK = true
+					}
+				}
+				if !inK {
+					return RefState{Theta: ts, Tree: st.Tree, F: st.F}, adt.BoolOutput(false)
+				}
+				// Concatenation: {b0}⌢f(bt)|⌢h {b_ℓ}.
+				nt := st.Tree.Clone()
+				if err := nt.Attach(validated); err != nil {
+					return RefState{Theta: ts, Tree: st.Tree, F: st.F}, adt.BoolOutput(false)
+				}
+				return RefState{Theta: ts, Tree: nt, F: st.F}, adt.BoolOutput(true)
+			default:
+				panic(fmt.Sprintf("refine: machine does not accept input %T", in))
+			}
+		},
+		Equal: func(a, b RefState) bool {
+			return a.F.Select(a.Tree).Equal(b.F.Select(b.Tree)) && a.Tree.Len() == b.Tree.Len()
+		},
+	}
+}
+
+func orPredicate(p core.Predicate) core.Predicate {
+	if p == nil {
+		return core.WellFormed{}
+	}
+	return p
+}

@@ -1,0 +1,116 @@
+package refine
+
+import (
+	"testing"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/oracle"
+)
+
+func TestRefMachineAppendRead(t *testing.T) {
+	m := NewMachine(1, nil, nil, 11)
+	word := []adt.Input{
+		RefReadInput{},
+		RefAppendInput{Merit: 0.9, Creator: 0, Round: 1, Payload: []byte("a")},
+		RefReadInput{},
+		RefAppendInput{Merit: 0.9, Creator: 1, Round: 2, Payload: []byte("b")},
+		RefReadInput{},
+	}
+	_, outs := m.Run(word)
+	if c := outs[0].(adt.ChainOutput).Chain; c.Height() != 0 {
+		t.Fatalf("initial read %v", c)
+	}
+	if outs[1].(adt.BoolOutput) != true || outs[3].(adt.BoolOutput) != true {
+		t.Fatal("appends failed")
+	}
+	c1 := outs[2].(adt.ChainOutput).Chain
+	c2 := outs[4].(adt.ChainOutput).Chain
+	if c1.Height() != 1 || c2.Height() != 2 || !c1.Prefix(c2) {
+		t.Fatalf("reads %v then %v", c1, c2)
+	}
+}
+
+func TestRefMachineWordAdmissible(t *testing.T) {
+	m := NewMachine(2, nil, nil, 13)
+	word := []adt.Input{
+		RefAppendInput{Merit: 0.8, Creator: 0, Round: 1, Payload: []byte("x")},
+		RefReadInput{},
+		RefAppendInput{Merit: 0.8, Creator: 1, Round: 2, Payload: []byte("y")},
+		RefReadInput{},
+	}
+	_, outs := m.Run(word)
+	var seq []adt.Operation[RefState]
+	for i := range word {
+		seq = append(seq, adt.Operation[RefState]{In: word[i], Out: outs[i]})
+	}
+	if ok, at, why := m.Admissible(seq); !ok {
+		t.Fatalf("machine's own word inadmissible at %d: %s", at, why)
+	}
+	// Tampering with a recorded output must break admissibility.
+	seq[1].Out = adt.ChainOutput{Chain: core.GenesisChain()}
+	if ok, _, _ := m.Admissible(seq); ok {
+		t.Fatal("tampered word accepted")
+	}
+}
+
+func TestRefMachineMeritZeroAppendFails(t *testing.T) {
+	m := NewMachine(1, nil, nil, 17)
+	st := m.Initial()
+	st, out := m.Step(st, RefAppendInput{Merit: 0, Creator: 0, Round: 0, MaxMine: 32})
+	if out.(adt.BoolOutput) != false {
+		t.Fatal("merit-0 append succeeded")
+	}
+	if st.Tree.Len() != 1 {
+		t.Fatal("failed append grew the tree")
+	}
+	// The tape was still popped MaxMine times (the τ_a* applications
+	// have the side effect of consuming cells).
+	if st.Theta.Pos[0] != 32 {
+		t.Fatalf("tape position %d, want 32", st.Theta.Pos[0])
+	}
+}
+
+func TestRefMachineMatchesObject(t *testing.T) {
+	// The machine and the concurrent BT object, driven with the same
+	// seed and schedule, must produce identical chains.
+	const seed = 19
+	m := NewMachine(1, core.LongestChain{}, nil, seed)
+	obj := New(Config{Oracle: oracle.NewFrugal(1, nil, core.WellFormed{}, seed)})
+
+	st := m.Initial()
+	for i := 0; i < 8; i++ {
+		var mOut adt.Output
+		st, mOut = m.Step(st, RefAppendInput{Merit: 0.6, Creator: i % 2, Round: i, Payload: []byte{byte(i)}})
+		_, oOK := obj.Append(i%2, 0.6, i, []byte{byte(i)})
+		if bool(mOut.(adt.BoolOutput)) != oOK {
+			t.Fatalf("step %d: machine ok=%v object ok=%v", i, mOut, oOK)
+		}
+	}
+	var mChain adt.Output
+	_, mChain = m.Step(st, RefReadInput{})
+	oChain := obj.Read(0)
+	if !mChain.(adt.ChainOutput).Chain.Equal(oChain) {
+		t.Fatalf("machine chain %v, object chain %v", mChain.(adt.ChainOutput).Chain, oChain)
+	}
+}
+
+func TestRefMachineK1NeverForks(t *testing.T) {
+	m := NewMachine(1, nil, nil, 23)
+	st := m.Initial()
+	for i := 0; i < 12; i++ {
+		st, _ = m.Step(st, RefAppendInput{Merit: 0.7, Creator: i % 3, Round: i, Payload: []byte{byte(i)}})
+	}
+	if st.Tree.MaxForkDegree() > 1 {
+		t.Fatalf("k=1 machine forked: %v", st.Tree)
+	}
+}
+
+func TestRefMachineStepPure(t *testing.T) {
+	m := NewMachine(1, nil, nil, 29)
+	st := m.Initial()
+	m.Step(st, RefAppendInput{Merit: 1, Creator: 0, Round: 0})
+	if st.Tree.Len() != 1 || len(st.Theta.Pos) != 0 {
+		t.Fatal("Step mutated its input state")
+	}
+}

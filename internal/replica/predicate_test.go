@@ -1,0 +1,69 @@
+package replica
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+func TestPredicateRejectsForgedBlocks(t *testing.T) {
+	sim := simnet.NewSim(1)
+	g := NewGroup(sim, 3, simnet.Synchronous{Delta: 2}, core.LongestChain{})
+	g.SetPredicate(core.WellFormed{})
+
+	honest := mkBlock(core.Genesis(), 0, 1)
+	forged := mkBlock(core.Genesis(), 2, 2)
+	forged.Payload = []byte("tampered after hashing")
+
+	sim.Schedule(1, func() {
+		g.Procs[0].AppendLocal(honest)
+		g.Net.Broadcast(2, UpdateMsg{Parent: forged.Parent, Block: forged})
+	})
+	sim.RunUntilIdle()
+
+	for p, proc := range g.Procs[:2] {
+		if proc.Tree().Has(forged.ID) {
+			t.Fatalf("replica %d accepted a forged block", p)
+		}
+		if !proc.Tree().Has(honest.ID) {
+			t.Fatalf("replica %d missing the honest block", p)
+		}
+		if proc.RejectedCount() == 0 {
+			t.Fatalf("replica %d rejected nothing", p)
+		}
+	}
+}
+
+func TestPredicateIgnoresTokenStamp(t *testing.T) {
+	// Oracle-validated blocks carry a Token field that is not part of
+	// the content hash; the replica predicate must not reject them.
+	sim := simnet.NewSim(2)
+	g := NewGroup(sim, 2, nil, core.LongestChain{})
+	g.SetPredicate(core.WellFormed{})
+	b := mkBlock(core.Genesis(), 0, 1).WithToken("tkn(b0)")
+	sim.Schedule(1, func() {
+		if !g.Procs[0].AppendLocal(b) {
+			t.Error("token-stamped block rejected locally")
+		}
+	})
+	sim.RunUntilIdle()
+	if !g.Procs[1].Tree().Has(b.ID) {
+		t.Fatal("token-stamped block rejected remotely")
+	}
+}
+
+func TestDefaultPredicateAcceptsAnything(t *testing.T) {
+	sim := simnet.NewSim(3)
+	g := NewGroup(sim, 2, nil, core.LongestChain{})
+	forged := mkBlock(core.Genesis(), 0, 1)
+	forged.Payload = []byte("whatever")
+	sim.Schedule(1, func() { g.Procs[0].AppendLocal(forged) })
+	sim.RunUntilIdle()
+	if !g.Procs[1].Tree().Has(forged.ID) {
+		t.Fatal("default predicate rejected a block")
+	}
+	if g.Procs[1].RejectedCount() != 0 {
+		t.Fatal("default predicate counted rejections")
+	}
+}

@@ -1,0 +1,259 @@
+// Package replica implements the replicated-object view of Section 4.2:
+// the BlockTree is a shared object replicated at each process; bt_i is
+// the local copy at process i; histories are made of read and append
+// operations plus the send, receive and update events through which
+// replicas converge. The generic update implementation follows the
+// paper: when process i locally produces a valid block b_i it performs
+// update_i(b_g, b_i) and send_i(b_g, b_i); when process j receives
+// (b_g, b_i) it performs update_j(b_g, b_i) on its replica bt_j.
+package replica
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/simnet"
+)
+
+// UpdateMsg is the payload flooded for an update: block b chained under
+// parent b_g.
+type UpdateMsg struct {
+	Parent core.BlockID
+	Block  *core.Block
+}
+
+// Registry tracks block creators across the whole run (the ID → creator
+// map the Update Agreement checker consumes) and deduplicates flooding.
+type Registry struct {
+	mu      sync.Mutex
+	creator map[core.BlockID]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{creator: make(map[core.BlockID]int)}
+}
+
+// Record notes that block id was created by proc (first writer wins).
+func (r *Registry) Record(id core.BlockID, proc int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.creator[id]; !ok {
+		r.creator[id] = proc
+	}
+}
+
+// Creators returns a copy of the ID → creator map.
+func (r *Registry) Creators() map[core.BlockID]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[core.BlockID]int, len(r.creator))
+	for k, v := range r.creator {
+		out[k] = v
+	}
+	return out
+}
+
+// Process is one replica: a process id, its local BlockTree copy, the
+// selection function, and the plumbing to the network and the history
+// recorder.
+type Process struct {
+	ID  int
+	F   core.Selector
+	Rec *history.Recorder
+	Reg *Registry
+
+	// P validates incoming blocks before they are applied to the
+	// local replica — the replica-side half of "only valid blocks can
+	// be appended": a Byzantine flooder cannot corrupt a correct
+	// replica with forged blocks. Defaults to AlwaysValid.
+	P core.Predicate
+
+	nw   *simnet.Network
+	tree *core.Tree
+
+	// rejected counts invalid blocks dropped by P.
+	rejected int
+
+	// pending buffers blocks whose parent has not arrived yet
+	// (out-of-order delivery); keyed by the missing parent.
+	pending map[core.BlockID][]*core.Block
+	// seen deduplicates update messages (flooding re-delivers).
+	seen map[core.BlockID]bool
+
+	// OnCommit, if set, runs after a block is attached locally
+	// (protocol layers hook their bookkeeping here).
+	OnCommit func(b *core.Block)
+}
+
+// NewProcess creates replica id over network nw. The handler for the
+// process is installed on the network; protocol layers that need their
+// own messages should multiplex through SetAuxHandler.
+func NewProcess(id int, nw *simnet.Network, f core.Selector, rec *history.Recorder, reg *Registry) *Process {
+	if f == nil {
+		f = core.LongestChain{}
+	}
+	p := &Process{
+		ID:      id,
+		F:       f,
+		Rec:     rec,
+		Reg:     reg,
+		P:       core.AlwaysValid{},
+		nw:      nw,
+		tree:    core.NewTree(),
+		pending: make(map[core.BlockID][]*core.Block),
+		seen:    make(map[core.BlockID]bool),
+	}
+	nw.AddHandler(id, p.onMessage)
+	return p
+}
+
+// Tree returns the live local replica (single-threaded simulator: the
+// caller must not mutate it).
+func (p *Process) Tree() *core.Tree { return p.tree }
+
+// Read performs the BT-ADT read() on the local replica, recording the
+// operation.
+func (p *Process) Read() core.Chain {
+	op := p.Rec.InvokeRead(p.ID)
+	c := p.F.Select(p.tree)
+	p.Rec.RespondRead(op, c)
+	return c
+}
+
+// SelectedHead returns the head of f(bt_i) without recording a read —
+// protocol layers use it to pick the parent to mine on.
+func (p *Process) SelectedHead() *core.Block {
+	return p.F.Select(p.tree).Head()
+}
+
+// AppendLocal performs the local half of a successful refined append at
+// this process: update_i(b_g, b_i) followed by send_i(b_g, b_i)
+// (flooded). It records the append operation and the update/send events.
+// The block must already be validated (token stamped by the oracle or
+// committed by consensus).
+func (p *Process) AppendLocal(b *core.Block) bool {
+	op := p.Rec.InvokeAppend(p.ID, b)
+	ok := p.applyUpdate(b, true)
+	p.Rec.RespondAppend(op, ok, b)
+	if ok {
+		p.Reg.Record(b.ID, p.ID)
+		p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
+		p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
+	}
+	return ok
+}
+
+// DeliverCommitted applies an externally committed block (consensus
+// output) at this process as an update without re-broadcasting — used by
+// the k=1 protocol family whose dissemination is the consensus round
+// itself. The receive event is recorded by the consensus layer.
+func (p *Process) DeliverCommitted(b *core.Block) bool {
+	return p.applyUpdate(b, false)
+}
+
+// applyUpdate inserts b into the local replica, recording the update
+// event; local marks whether this is the creator's own update (R1 path)
+// or a remote one (R2 path requires a prior receive, recorded by
+// onMessage).
+func (p *Process) applyUpdate(b *core.Block, local bool) bool {
+	_ = local
+	if p.seen[b.ID] {
+		return false
+	}
+	// Token stamps are oracle metadata, not block content: strip
+	// before applying a content predicate such as WellFormed.
+	nb := *b
+	nb.Token = ""
+	if !p.P.Valid(&nb) {
+		p.rejected++
+		return false
+	}
+	if !p.tree.Has(b.Parent) {
+		// Parent not yet delivered: buffer; the update event will
+		// be recorded when the parent arrives.
+		p.pending[b.Parent] = append(p.pending[b.Parent], b)
+		return false
+	}
+	if err := p.tree.Attach(b); err != nil {
+		return false
+	}
+	p.seen[b.ID] = true
+	p.Rec.RecordComm(history.EvUpdate, p.ID, b.Parent, b.ID)
+	if p.OnCommit != nil {
+		p.OnCommit(b)
+	}
+	// Flush any children that were waiting for b.
+	for _, child := range p.pending[b.ID] {
+		p.applyUpdate(child, false)
+	}
+	delete(p.pending, b.ID)
+	return true
+}
+
+// onMessage handles network delivery: record receive_j(b_g, b_i), then
+// update_j(b_g, b_i).
+func (p *Process) onMessage(m simnet.Message) {
+	um, ok := m.Payload.(UpdateMsg)
+	if !ok {
+		return
+	}
+	if p.seen[um.Block.ID] && m.From != p.ID {
+		// Duplicate delivery via flooding: receive recorded once.
+		return
+	}
+	p.Rec.RecordComm(history.EvReceive, p.ID, um.Parent, um.Block.ID)
+	if m.From == p.ID {
+		// Loopback delivery of our own send: the update was already
+		// applied in AppendLocal; only the receive event matters
+		// (LRC Validity).
+		return
+	}
+	p.applyUpdate(um.Block, false)
+}
+
+// RejectedCount reports how many invalid blocks the predicate P dropped.
+func (p *Process) RejectedCount() int { return p.rejected }
+
+// PendingCount reports how many blocks are buffered waiting for parents
+// (diagnostics; should be 0 at the end of a loss-free run).
+func (p *Process) PendingCount() int {
+	n := 0
+	for _, v := range p.pending {
+		n += len(v)
+	}
+	return n
+}
+
+// Group is a convenience bundle: n replicas over one network with a
+// shared recorder and registry.
+type Group struct {
+	Procs []*Process
+	Rec   *history.Recorder
+	Reg   *Registry
+	Net   *simnet.Network
+}
+
+// NewGroup builds n replicas over sim with the given delay model and
+// selector.
+func NewGroup(sim *simnet.Sim, n int, delay simnet.DelayModel, f core.Selector) *Group {
+	nw := simnet.NewNetwork(sim, n, delay)
+	rec := history.NewRecorder(n, sim.Now)
+	reg := NewRegistry()
+	g := &Group{Rec: rec, Reg: reg, Net: nw}
+	for i := 0; i < n; i++ {
+		g.Procs = append(g.Procs, NewProcess(i, nw, f, rec, reg))
+	}
+	return g
+}
+
+// History snapshots the recorded history.
+func (g *Group) History() *history.History { return g.Rec.Snapshot() }
+
+// SetPredicate installs the validity predicate P at every replica.
+func (g *Group) SetPredicate(p core.Predicate) {
+	for _, proc := range g.Procs {
+		proc.P = p
+	}
+}

@@ -1,0 +1,167 @@
+package simnet
+
+import "fmt"
+
+// Message is one point-to-point message in flight.
+type Message struct {
+	From, To int
+	Payload  any
+}
+
+// DropRule decides whether a message is lost. Returning true drops the
+// message silently (it is still counted). Used to build the Theorem
+// 4.6/4.7 experiments: dropping even a single update message from a
+// correct process breaks Eventual Prefix.
+type DropRule func(m Message) bool
+
+// DropNone loses nothing.
+func DropNone(Message) bool { return false }
+
+// DropToProcess drops every message addressed to the given process —
+// the partitioned-receiver scenario of Lemma 4.5.
+func DropToProcess(p int) DropRule {
+	return func(m Message) bool { return m.To == p }
+}
+
+// DropFromProcess drops every message sent by the given process — the
+// silent-sender scenario of Lemma 4.4 (R1 violated from the outside).
+func DropFromProcess(p int) DropRule {
+	return func(m Message) bool { return m.From == p }
+}
+
+// DropNth drops exactly the n-th message (0-based) that matches the
+// inner rule; all means every message matches. This builds the paper's
+// "even only one message dropped" minimal counterexamples.
+func DropNth(n int, inner DropRule) DropRule {
+	count := 0
+	if inner == nil {
+		inner = func(Message) bool { return true }
+	}
+	return func(m Message) bool {
+		if !inner(m) {
+			return false
+		}
+		hit := count == n
+		count++
+		return hit
+	}
+}
+
+// Handler receives delivered messages at a process.
+type Handler func(m Message)
+
+// Network connects n processes over a Sim with a DelayModel and an
+// optional DropRule. Sends are recorded and delivery is scheduled as a
+// simulator event; a process's handler runs at delivery time.
+type Network struct {
+	sim      *Sim
+	n        int
+	delay    DelayModel
+	drop     DropRule
+	handlers [][]Handler
+
+	// fifo, when enabled, makes every (from, to) link order-preserving
+	// (the "reliable FIFO authenticated channels" of the paper's
+	// Bitcoin/Ethereum mappings): a message never overtakes an earlier
+	// one on the same link. lastOut tracks the latest scheduled
+	// delivery time per link.
+	fifo    bool
+	lastOut map[[2]int]int64
+
+	sent, delivered, dropped int
+}
+
+// NewNetwork builds a network of n processes over sim.
+func NewNetwork(sim *Sim, n int, delay DelayModel) *Network {
+	if delay == nil {
+		delay = Synchronous{Delta: 1}
+	}
+	return &Network{sim: sim, n: n, delay: delay, drop: DropNone, handlers: make([][]Handler, n)}
+}
+
+// N returns the number of processes.
+func (nw *Network) N() int { return nw.n }
+
+// Sim returns the underlying simulator.
+func (nw *Network) Sim() *Sim { return nw.sim }
+
+// AddHandler registers a delivery handler for process p. Multiple layers
+// (replica updates, consensus rounds) each register one; every handler
+// sees every delivered message and dispatches on the payload type.
+func (nw *Network) AddHandler(p int, h Handler) {
+	nw.handlers[p] = append(nw.handlers[p], h)
+}
+
+// SetDrop installs a drop rule (nil restores DropNone).
+func (nw *Network) SetDrop(r DropRule) {
+	if r == nil {
+		r = DropNone
+	}
+	nw.drop = r
+}
+
+// SetDropRandom installs i.i.d. loss with probability p from the
+// network's deterministic RNG.
+func (nw *Network) SetDropRandom(p float64) {
+	rng := nw.sim.RNG().Split()
+	nw.drop = func(Message) bool { return rng.Bernoulli(p) }
+}
+
+// SetFIFO enables (or disables) per-link FIFO delivery.
+func (nw *Network) SetFIFO(on bool) {
+	nw.fifo = on
+	if on && nw.lastOut == nil {
+		nw.lastOut = make(map[[2]int]int64)
+	}
+}
+
+// Send transmits payload from from to to. Loopback (from == to) is
+// delivered with delay 0 — a process always receives its own broadcast,
+// which is how the LRC Validity property is realized.
+func (nw *Network) Send(from, to int, payload any) {
+	if to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("simnet: send to unknown process %d", to))
+	}
+	m := Message{From: from, To: to, Payload: payload}
+	nw.sent++
+	if from != to && nw.drop(m) {
+		nw.dropped++
+		return
+	}
+	var d int64
+	if from != to {
+		d = nw.delay.Delay(nw.sim.rng, nw.sim.Now(), from, to)
+	}
+	if nw.fifo && from != to {
+		link := [2]int{from, to}
+		at := nw.sim.Now() + d
+		if prev := nw.lastOut[link]; at <= prev {
+			at = prev + 1
+			d = at - nw.sim.Now()
+		}
+		nw.lastOut[link] = at
+	}
+	nw.sim.Schedule(d, func() {
+		nw.delivered++
+		for _, h := range nw.handlers[to] {
+			h(m)
+		}
+	})
+}
+
+// Broadcast sends payload from from to every process, itself included
+// (best-effort flooding; reliability properties are what the checkers
+// measure, not what the primitive promises).
+func (nw *Network) Broadcast(from int, payload any) {
+	for to := 0; to < nw.n; to++ {
+		nw.Send(from, to, payload)
+	}
+}
+
+// Stats returns (sent, delivered, dropped) counters.
+func (nw *Network) Stats() (sent, delivered, dropped int) {
+	return nw.sent, nw.delivered, nw.dropped
+}
+
+// DelayName reports the synchrony model in use.
+func (nw *Network) DelayName() string { return nw.delay.Name() }

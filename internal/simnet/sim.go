@@ -1,0 +1,190 @@
+// Package simnet is the message-passing substrate of Sections 4.2–4.3: a
+// deterministic discrete-event simulator of an n-process system with
+// configurable communication timing (synchronous with bound δ, partially
+// synchronous with a global stabilization time, asynchronous), message
+// loss injection, and Byzantine process support. Protocol simulators
+// (internal/protocols) and the replicated BlockTree (internal/replica)
+// run on top of it; the send/receive/update events they record are what
+// the Update Agreement and LRC checkers examine.
+//
+// Time is virtual: a global fictional clock that processes cannot read
+// (only the simulator harness schedules with it), exactly as the paper's
+// model prescribes.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/tape"
+)
+
+// event is one scheduled callback.
+type event struct {
+	time int64
+	seq  int64 // tiebreaker: FIFO among same-time events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the discrete-event scheduler. It is single-threaded: callbacks
+// run sequentially in virtual-time order, which makes every run
+// reproducible from its seed.
+type Sim struct {
+	now     int64
+	seq     int64
+	pq      eventHeap
+	rng     *tape.RNG
+	stepped int
+}
+
+// NewSim creates a simulator whose randomness derives from seed.
+func NewSim(seed uint64) *Sim {
+	return &Sim{rng: tape.NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() int64 { return s.now }
+
+// RNG returns the simulator's deterministic random stream.
+func (s *Sim) RNG() *tape.RNG { return s.rng }
+
+// Steps returns how many events have been executed.
+func (s *Sim) Steps() int { return s.stepped }
+
+// Schedule runs fn after delay virtual time units (delay 0 runs at the
+// current time, after already-queued same-time events).
+func (s *Sim) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t int64, fn func()) {
+	d := t - s.now
+	s.Schedule(d, fn)
+}
+
+// Run executes events until the queue empties or the next event is later
+// than until. It returns the number of events executed.
+func (s *Sim) Run(until int64) int {
+	n := 0
+	for len(s.pq) > 0 && s.pq[0].time <= until {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.time
+		e.fn()
+		s.stepped++
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunUntilIdle drains the event queue completely (the queue must be
+// finite: every protocol run is bounded by construction).
+func (s *Sim) RunUntilIdle() int {
+	n := 0
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		s.now = e.time
+		e.fn()
+		s.stepped++
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.pq) }
+
+// DelayModel decides the delivery delay of each message, defining the
+// synchrony assumption of Section 4.2.
+type DelayModel interface {
+	// Delay returns the virtual-time delivery delay for a message
+	// sent at time now from process from to process to.
+	Delay(rng *tape.RNG, now int64, from, to int) int64
+	Name() string
+}
+
+// Synchronous delivers every message within Delta: "messages sent by
+// correct processes at time t are delivered by time t + δ". Delays are
+// uniform in [1, Delta].
+type Synchronous struct{ Delta int64 }
+
+// Delay implements DelayModel.
+func (m Synchronous) Delay(rng *tape.RNG, _ int64, _, _ int) int64 {
+	if m.Delta <= 1 {
+		return 1
+	}
+	return 1 + int64(rng.Intn(int(m.Delta)))
+}
+
+// Name returns e.g. "sync(δ=5)".
+func (m Synchronous) Name() string { return fmt.Sprintf("sync(δ=%d)", m.Delta) }
+
+// PartialSynchrony is the weakly synchronous model: before the (a priori
+// unknown) global stabilization time GST, delays are uniform in
+// [1, DeltaBefore]; from GST on, within DeltaAfter.
+type PartialSynchrony struct {
+	GST         int64
+	DeltaBefore int64
+	DeltaAfter  int64
+}
+
+// Delay implements DelayModel.
+func (m PartialSynchrony) Delay(rng *tape.RNG, now int64, _, _ int) int64 {
+	d := m.DeltaAfter
+	if now < m.GST {
+		d = m.DeltaBefore
+	}
+	if d <= 1 {
+		return 1
+	}
+	return 1 + int64(rng.Intn(int(d)))
+}
+
+// Name returns e.g. "psync(GST=100,δ=5)".
+func (m PartialSynchrony) Name() string {
+	return fmt.Sprintf("psync(GST=%d,δ=%d)", m.GST, m.DeltaAfter)
+}
+
+// Asynchronous has no delivery bound: delays follow a geometric
+// distribution with parameter P (mean 1/P), so any finite bound is
+// exceeded with positive probability. P must be in (0, 1].
+type Asynchronous struct{ P float64 }
+
+// Delay implements DelayModel.
+func (m Asynchronous) Delay(rng *tape.RNG, _ int64, _, _ int) int64 {
+	p := m.P
+	if p <= 0 || p > 1 {
+		p = 0.2
+	}
+	return 1 + int64(rng.Geometric(p))
+}
+
+// Name returns e.g. "async(p=0.2)".
+func (m Asynchronous) Name() string { return fmt.Sprintf("async(p=%g)", m.P) }
