@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/consistency"
@@ -190,6 +191,86 @@ func BenchmarkAblationCheckerStrategy(b *testing.B) {
 			}
 		}
 	})
+}
+
+// buildScalingTree builds an n-block tree of the given shape for the
+// selector-scaling benchmarks (DESIGN.md ablation #5):
+//
+//   - "chainlike": 50 long competing branches extended round-robin —
+//     few leaves, deep paths (height n/50), the shape of a chain with a
+//     handful of long-lived forks;
+//   - "forked": every block chains under a uniformly random earlier
+//     block — many leaves, shallow paths, the worst case for leaf-count
+//     dependent selection.
+//
+// Weights cycle 1..7 so heaviest-chain does real work.
+func buildScalingTree(b *testing.B, n int, shape string) *core.Tree {
+	b.Helper()
+	tr := core.NewTree()
+	attach := func(blk *core.Block) {
+		if err := tr.Attach(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	switch shape {
+	case "chainlike":
+		const branches = 50
+		tips := make([]*core.Block, branches)
+		for i := range tips {
+			tips[i] = core.Genesis()
+		}
+		for i := 0; i < n; i++ {
+			k := i % branches
+			p := tips[k]
+			blk := core.NewBlock(p.ID, p.Height+1, k, i, []byte{byte(i), byte(i >> 8)}).
+				WithWeight(i%7 + 1)
+			attach(blk)
+			tips[k] = blk
+		}
+	case "forked":
+		rng := rand.New(rand.NewSource(42))
+		all := []*core.Block{core.Genesis()}
+		for i := 0; i < n; i++ {
+			p := all[rng.Intn(len(all))]
+			blk := core.NewBlock(p.ID, p.Height+1, i%8, i, []byte{byte(i), byte(i >> 8)}).
+				WithWeight(i%7 + 1)
+			attach(blk)
+			all = append(all, blk)
+		}
+	default:
+		b.Fatalf("unknown shape %q", shape)
+	}
+	return tr
+}
+
+// BenchmarkSelectorScaling measures each selection function on 1k-, 10k-
+// and 100k-block trees of both shapes (DESIGN.md ablation #5). With the
+// incremental indices, selection cost depends on the leaf count and the
+// winning chain's height, not the tree size — the per-op time must stay
+// near-flat in n for chainlike shapes (fixed leaf count) instead of
+// growing linearly (longest, ghost) or quadratically (heaviest).
+func BenchmarkSelectorScaling(b *testing.B) {
+	for _, shape := range []string{"chainlike", "forked"} {
+		for _, n := range []int{1_000, 10_000, 100_000} {
+			tree := buildScalingTree(b, n, shape)
+			for _, f := range []core.Selector{core.LongestChain{}, core.HeaviestChain{}, core.GHOST{}} {
+				b.Run(fmt.Sprintf("%s/%dk/%s", shape, n/1000, f.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if c := f.Select(tree); c.Len() == 0 {
+							b.Fatal("empty selection")
+						}
+					}
+				})
+				b.Run(fmt.Sprintf("%s/%dk/%s-head", shape, n/1000, f.Name()), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if core.HeadOf(f, tree) == nil {
+							b.Fatal("nil head")
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkProtocolRuns measures one full simulation per system — the

@@ -92,8 +92,9 @@ func NewBTMachine(f core.Selector, p core.Predicate) *Machine[BTState] {
 				if b == nil || !st.P.Valid(b) {
 					return st, BoolOutput(false)
 				}
-				sel := st.F.Select(st.Tree)
-				head := sel.Head()
+				// Head-only fast path: the append needs just the
+				// selected head, not the materialized chain.
+				head := core.HeadOf(st.F, st.Tree)
 				// The appended block must chain to the head
 				// of the selected chain: {b0}⌢f(bt)⌢{b}.
 				nb := *b

@@ -63,6 +63,51 @@ func FuzzChainPrefix(f *testing.F) {
 	})
 }
 
+// checkTreeIndices asserts every incremental index of the tree — leaf
+// set, cached max height, per-block chain weight, per-block subtree
+// weight — equals a from-scratch recomputation over the blocks/children
+// maps. It is the shared invariant check for the attach fuzzers.
+func checkTreeIndices(t *testing.T, tr *Tree) {
+	t.Helper()
+	// Leaf set == scan of all blocks with no children.
+	wantLeaves := scanLeaves(tr)
+	gotLeaves := tr.Leaves()
+	if len(gotLeaves) != len(wantLeaves) {
+		t.Fatalf("leaf index has %d leaves, scan finds %d", len(gotLeaves), len(wantLeaves))
+	}
+	for i := range wantLeaves {
+		if gotLeaves[i] != wantLeaves[i] {
+			t.Fatalf("leaf index %v != scan %v", gotLeaves, wantLeaves)
+		}
+	}
+	if tr.LeafCount() != len(wantLeaves) {
+		t.Fatalf("LeafCount %d, scan finds %d", tr.LeafCount(), len(wantLeaves))
+	}
+	// Cached height == scan.
+	if got, want := tr.Height(), scanHeight(tr); got != want {
+		t.Fatalf("cached height %d, scan %d", got, want)
+	}
+	// chainWeight[b] == WeightScore of the materialized chain;
+	// subtreeWeight[b] == recomputed weight sum over the subtree.
+	sc := WeightScore{}
+	var subtree func(id BlockID) int
+	subtree = func(id BlockID) int {
+		w := tr.Block(id).Weight
+		for _, c := range tr.Children(id) {
+			w += subtree(c)
+		}
+		return w
+	}
+	for _, b := range tr.Blocks() {
+		if got, want := tr.ChainWeight(b.ID), sc.Of(tr.ChainTo(b.ID)); got != want {
+			t.Fatalf("chainWeight[%s] = %d, recompute %d", b.ID.Short(), got, want)
+		}
+		if got, want := tr.SubtreeWeight(b.ID), subtree(b.ID); got != want {
+			t.Fatalf("subtreeWeight[%s] = %d, recompute %d", b.ID.Short(), got, want)
+		}
+	}
+}
+
 // FuzzTreeAttach feeds arbitrary attach schedules (parent picks drawn
 // from already-attached blocks, plus occasional garbage) and checks the
 // tree invariants are never violated and garbage is always rejected.
@@ -98,5 +143,76 @@ func FuzzTreeAttach(f *testing.F) {
 		if tr.SubtreeWeight(GenesisID) != tr.Len() {
 			t.Fatal("subtree weight out of sync")
 		}
+		checkTreeIndices(t, tr)
+	})
+}
+
+// FuzzTreeIndices stresses the incremental indices directly: arbitrary
+// attach schedules with random weights, duplicate deliveries (the same
+// block attached again must be idempotent), conflicting re-weighted
+// twins (same ID, different weight — must be rejected without touching
+// any cache), and out-of-order delivery (a child offered before its
+// parent must be rejected, then accepted once the parent lands). After
+// the schedule, every cache must equal a recompute from scratch, both on
+// the tree and on a clone.
+func FuzzTreeIndices(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{9, 9, 9, 9})
+	f.Add([]byte{0, 20, 0, 20, 41, 62})
+	f.Fuzz(func(t *testing.T, schedule []byte) {
+		tr := NewTree()
+		attached := []*Block{Genesis()}
+		for i, op := range schedule {
+			switch op % 5 {
+			case 0, 1: // ordinary attach under a random existing parent
+				parent := attached[int(op/5)%len(attached)]
+				b := NewBlock(parent.ID, parent.Height+1, int(op)%3, i, []byte{op, byte(i)}).
+					WithWeight(int(op)%4 + 1)
+				if err := tr.Attach(b); err != nil {
+					t.Fatalf("valid attach rejected: %v", err)
+				}
+				attached = append(attached, b)
+			case 2: // duplicate delivery: idempotent, caches untouched
+				dup := attached[int(op/5)%len(attached)]
+				before := tr.Len()
+				if err := tr.Attach(dup); err != nil {
+					t.Fatalf("duplicate attach rejected: %v", err)
+				}
+				if tr.Len() != before {
+					t.Fatal("duplicate attach changed tree size")
+				}
+			case 3: // conflicting twin: same ID, different weight
+				orig := attached[int(op/5)%len(attached)]
+				if orig.IsGenesis() {
+					continue // genesis attach is always a no-op
+				}
+				twin := orig.WithWeight(orig.Weight + 1)
+				if err := tr.Attach(twin); err == nil {
+					t.Fatal("conflicting re-weighted twin accepted")
+				}
+			case 4: // out-of-order delivery: child before parent
+				parent := attached[int(op/5)%len(attached)]
+				future := NewBlock(parent.ID, parent.Height+1, 7, 1000+i, []byte{op})
+				child := NewBlock(future.ID, future.Height+1, 7, 2000+i, []byte{op})
+				if err := tr.Attach(child); err == nil {
+					t.Fatal("orphan child accepted before its parent")
+				}
+				if err := tr.Attach(future); err != nil {
+					t.Fatalf("parent attach rejected: %v", err)
+				}
+				if err := tr.Attach(child); err != nil {
+					t.Fatalf("child attach rejected after parent arrived: %v", err)
+				}
+				attached = append(attached, future, child)
+			}
+			// Per-step recompute is quadratic; keep it for short
+			// schedules and fall back to end-of-run checks on long
+			// fuzz-generated ones.
+			if len(schedule) <= 32 {
+				checkTreeIndices(t, tr)
+			}
+		}
+		checkTreeIndices(t, tr)
+		checkTreeIndices(t, tr.Clone())
 	})
 }

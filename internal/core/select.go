@@ -12,6 +12,12 @@ package core
 //
 // All selectors are deterministic: given equal trees they return equal
 // chains, as required for f to be a function.
+//
+// Every selector here runs off the Tree's incremental indices: picking
+// the winning leaf costs O(#leaves) (or O(path) for GHOST's descent)
+// and only the winning chain is materialized, O(height). The original
+// full-rescan implementations are kept unexported in select_legacy_test.go
+// and pinned equivalent by differential tests.
 type Selector interface {
 	// Select returns the selected blockchain including the genesis
 	// block ({b0}⌢f(bt) in the paper's notation; per the paper's
@@ -21,26 +27,60 @@ type Selector interface {
 	Name() string
 }
 
+// HeadSelector is the head-only fast path: SelectHead returns the head
+// block of the chain Select would return, without materializing it.
+// Append paths (replica mining, refined append, BT-ADT append) only need
+// the head to chain a new block under, so this turns every append-side
+// selection from O(height) into O(#leaves) flat. All built-in selectors
+// implement it; HeadOf falls back to Select(t).Head() for foreign ones.
+type HeadSelector interface {
+	SelectHead(*Tree) *Block
+}
+
+// HeadOf returns the head of f(t), using the selector's head-only fast
+// path when available. On a degenerate (zero-value) tree it returns the
+// genesis block, matching Select's genesis-chain fallback.
+func HeadOf(f Selector, t *Tree) *Block {
+	if hs, ok := f.(HeadSelector); ok {
+		if h := hs.SelectHead(t); h != nil {
+			return h
+		}
+		return Genesis()
+	}
+	return f.Select(t).Head()
+}
+
 // LongestChain selects the chain to the highest leaf; among equally high
 // leaves it picks the one whose head has the lexicographically largest ID
 // (Figure 2's convention: "in case of equality, selects the largest based
 // on the lexicographical order").
 type LongestChain struct{}
 
-// Select walks all leaves and returns the longest chain.
-func (LongestChain) Select(t *Tree) Chain {
+// SelectHead returns the highest leaf (lexicographic tiebreak) in
+// O(#leaves) using the maintained leaf set.
+func (LongestChain) SelectHead(t *Tree) *Block {
 	var best BlockID
 	bestH := -1
-	for _, leaf := range t.Leaves() {
-		b := t.Block(leaf)
-		if b.Height > bestH || (b.Height == bestH && leaf > best) {
-			best, bestH = leaf, b.Height
+	for leaf := range t.leaves {
+		h := t.blocks[leaf].Height
+		if h > bestH || (h == bestH && leaf > best) {
+			best, bestH = leaf, h
 		}
 	}
 	if bestH < 0 {
+		return t.Root()
+	}
+	return t.blocks[best]
+}
+
+// Select walks the leaf set and returns the longest chain, materializing
+// only the winner.
+func (f LongestChain) Select(t *Tree) Chain {
+	head := f.SelectHead(t)
+	if head == nil {
 		return GenesisChain()
 	}
-	return t.ChainTo(best)
+	return t.ChainTo(head.ID)
 }
 
 // Name returns "longest".
@@ -51,21 +91,34 @@ func (LongestChain) Name() string { return "longest" }
 // coincides with LongestChain.
 type HeaviestChain struct{}
 
-// Select returns the heaviest root-to-leaf path.
-func (HeaviestChain) Select(t *Tree) Chain {
+// SelectHead returns the leaf with the largest cumulative chain weight in
+// O(#leaves), reading the maintained chainWeight index instead of
+// re-walking and re-summing each root-to-leaf path.
+func (HeaviestChain) SelectHead(t *Tree) *Block {
 	var best BlockID
 	bestW := -1
-	sc := WeightScore{}
-	for _, leaf := range t.Leaves() {
-		w := sc.Of(t.ChainTo(leaf))
+	found := false
+	for leaf := range t.leaves {
+		w := t.chainWeight[leaf]
 		if w > bestW || (w == bestW && leaf > best) {
 			best, bestW = leaf, w
+			found = true
 		}
 	}
-	if bestW < 0 {
+	if !found {
+		return t.Root()
+	}
+	return t.blocks[best]
+}
+
+// Select returns the heaviest root-to-leaf path, materializing only the
+// winner.
+func (f HeaviestChain) Select(t *Tree) Chain {
+	head := f.SelectHead(t)
+	if head == nil {
 		return GenesisChain()
 	}
-	return t.ChainTo(best)
+	return t.ChainTo(head.ID)
 }
 
 // Name returns "heaviest".
@@ -76,6 +129,29 @@ func (HeaviestChain) Name() string { return "heaviest" }
 // descend into the child whose subtree has the largest total weight
 // (ties broken lexicographically) until reaching a leaf.
 type GHOST struct{}
+
+// SelectHead performs the greedy descent and returns only the final leaf.
+func (GHOST) SelectHead(t *Tree) *Block {
+	cur := t.Root()
+	if cur == nil {
+		return nil // degenerate zero-value tree; HeadOf falls back
+	}
+	for {
+		ch := t.Children(cur.ID)
+		if len(ch) == 0 {
+			return cur
+		}
+		best := ch[0]
+		bestW := t.SubtreeWeight(best)
+		for _, c := range ch[1:] {
+			w := t.SubtreeWeight(c)
+			if w > bestW || (w == bestW && c > best) {
+				best, bestW = c, w
+			}
+		}
+		cur = t.Block(best)
+	}
+}
 
 // Select performs the greedy heaviest-subtree descent.
 func (GHOST) Select(t *Tree) Chain {
@@ -109,14 +185,27 @@ func (GHOST) Name() string { return "ghost" }
 // consistency checkers can observe and report the anomaly.
 type SingleChain struct{}
 
-// Select returns the unique chain of a fork-free tree.
-func (SingleChain) Select(t *Tree) Chain {
+// SelectHead returns the head of the unique chain (or the longest-chain
+// head if the tree forks).
+func (SingleChain) SelectHead(t *Tree) *Block {
 	if t.MaxForkDegree() <= 1 {
-		// Fork-free: exactly one leaf.
-		leaves := t.Leaves()
-		return t.ChainTo(leaves[0])
+		for leaf := range t.leaves {
+			return t.blocks[leaf] // fork-free: exactly one leaf
+		}
+		// Degenerate (zero-value) tree with no leaf set: fall through
+		// to the genesis chain instead of indexing into nothing.
+		return t.Root()
 	}
-	return LongestChain{}.Select(t)
+	return LongestChain{}.SelectHead(t)
+}
+
+// Select returns the unique chain of a fork-free tree.
+func (f SingleChain) Select(t *Tree) Chain {
+	head := f.SelectHead(t)
+	if head == nil {
+		return GenesisChain()
+	}
+	return t.ChainTo(head.ID)
 }
 
 // Name returns "single".

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkIndexedVsLegacySelect pits the indexed selectors against the
+// preserved full-rescan originals on the same heavily-forked trees
+// (randomTree with zero chain bias — every block under a uniformly
+// random earlier block) — the measured form of the differential tests.
+// The acceptance bar for the index work is heaviest/indexed ≥ 5× faster
+// than heaviest/legacy at 10k blocks.
+func BenchmarkIndexedVsLegacySelect(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		tree := randomTree(b, rand.New(rand.NewSource(42)), n, 0)
+		cases := []struct {
+			name    string
+			indexed func(*Tree) Chain
+			legacy  func(*Tree) Chain
+		}{
+			{"longest", LongestChain{}.Select, legacySelectLongest},
+			{"heaviest", HeaviestChain{}.Select, legacySelectHeaviest},
+			{"single", SingleChain{}.Select, legacySelectSingle},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%dk/%s/indexed", n/1000, c.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if ch := c.indexed(tree); ch.Len() == 0 {
+						b.Fatal("empty selection")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%dk/%s/legacy", n/1000, c.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if ch := c.legacy(tree); ch.Len() == 0 {
+						b.Fatal("empty selection")
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import "sort"
+
+// This file preserves the original full-rescan selector implementations
+// exactly as they were before the incremental indices landed. They are
+// unexported and exist only as differential-test oracles
+// (select_diff_test.go): randomized trees assert that the indexed
+// selectors in select.go return byte-identical chains. Do not "optimize"
+// these — their value is being the slow, obviously-correct spec.
+
+// scanLeaves recomputes the leaf set by scanning every block, the way
+// Tree.Leaves worked before the maintained leaf set.
+func scanLeaves(t *Tree) []BlockID {
+	var out []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scanHeight recomputes the maximum height by scanning every block, the
+// way Tree.Height worked before the cached maxHeight.
+func scanHeight(t *Tree) int {
+	h := 0
+	for _, b := range t.blocks {
+		if b.Height > h {
+			h = b.Height
+		}
+	}
+	return h
+}
+
+// legacySelectLongest is the original LongestChain.Select: rescan all
+// leaves, compare heights.
+func legacySelectLongest(t *Tree) Chain {
+	var best BlockID
+	bestH := -1
+	for _, leaf := range scanLeaves(t) {
+		b := t.Block(leaf)
+		if b.Height > bestH || (b.Height == bestH && leaf > best) {
+			best, bestH = leaf, b.Height
+		}
+	}
+	if bestH < 0 {
+		return GenesisChain()
+	}
+	return t.ChainTo(best)
+}
+
+// legacySelectHeaviest is the original HeaviestChain.Select: materialize
+// the full root-to-leaf chain of every leaf and score it (O(n·h)).
+func legacySelectHeaviest(t *Tree) Chain {
+	var best BlockID
+	bestW := -1
+	sc := WeightScore{}
+	for _, leaf := range scanLeaves(t) {
+		w := sc.Of(t.ChainTo(leaf))
+		if w > bestW || (w == bestW && leaf > best) {
+			best, bestW = leaf, w
+		}
+	}
+	if bestW < 0 {
+		return GenesisChain()
+	}
+	return t.ChainTo(best)
+}
+
+// legacySelectSingle is the original SingleChain.Select (minus its
+// unguarded leaves[0] panic on degenerate trees, fixed in the indexed
+// version; with a genesis block present the two never diverge).
+func legacySelectSingle(t *Tree) Chain {
+	if t.MaxForkDegree() <= 1 {
+		leaves := scanLeaves(t)
+		if len(leaves) == 0 {
+			return GenesisChain()
+		}
+		return t.ChainTo(leaves[0])
+	}
+	return legacySelectLongest(t)
+}

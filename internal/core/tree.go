@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 )
@@ -17,6 +18,20 @@ import (
 //   - the BT-ADT append()/read() of Definition 3.1 lives in the adt and
 //     refine packages, built on top of Attach and a Selector.
 //
+// Tree maintains three incremental indices so that the selection
+// function f (internal/core/select.go) never rescans the whole tree:
+//
+//   - leaves: the current leaf set, updated O(1) per Attach;
+//   - maxHeight: the maximum block height, updated O(1) per Attach;
+//   - chainWeight: per block, the cumulative weight of the root-to-block
+//     chain excluding genesis (chainWeight[b] = chainWeight[parent] +
+//     b.Weight, so chainWeight[leaf] = WeightScore of ChainTo(leaf)),
+//     updated O(1) per Attach;
+//
+// alongside the subtreeWeight cache maintained for GHOST (O(depth) per
+// Attach). With them, LongestChain/HeaviestChain select in O(#leaves)
+// and materialize only the winning chain.
+//
 // Tree is not safe for concurrent use; each simulated process owns its
 // replica (internal/replica), and shared-memory experiments wrap it.
 type Tree struct {
@@ -26,6 +41,13 @@ type Tree struct {
 	// subtreeWeight caches, per block, the total weight of the subtree
 	// rooted there; maintained incrementally on Attach for GHOST.
 	subtreeWeight map[BlockID]int
+	// leaves is the maintained leaf set: blocks with no children.
+	leaves map[BlockID]struct{}
+	// maxHeight caches the maximum block height in the tree.
+	maxHeight int
+	// chainWeight caches, per block, the cumulative weight of the chain
+	// from genesis to the block, genesis excluded (matching WeightScore).
+	chainWeight map[BlockID]int
 }
 
 // NewTree returns a BlockTree containing only the genesis block b0.
@@ -36,6 +58,8 @@ func NewTree() *Tree {
 		children:      make(map[BlockID][]BlockID),
 		root:          g,
 		subtreeWeight: map[BlockID]int{g.ID: g.Weight},
+		leaves:        map[BlockID]struct{}{g.ID: {}},
+		chainWeight:   map[BlockID]int{g.ID: 0},
 	}
 	return t
 }
@@ -54,8 +78,11 @@ func (t *Tree) Has(id BlockID) bool { _, ok := t.blocks[id]; return ok }
 
 // Attach inserts block b under its parent. It returns an error if the
 // parent is unknown, the height is inconsistent, or a different block
-// with the same ID is already present. Attaching an identical block
-// twice is idempotent (duplicate delivery in the network simulator).
+// with the same ID is already present — Parent, Height, Weight and
+// Payload must all match the attached copy, so a re-weighted twin
+// (Block.WithWeight keeps the ID) cannot silently corrupt the weight
+// caches. Attaching an identical block twice is idempotent (duplicate
+// delivery in the network simulator).
 func (t *Tree) Attach(b *Block) error {
 	if b == nil {
 		return fmt.Errorf("core: attach nil block")
@@ -64,7 +91,8 @@ func (t *Tree) Attach(b *Block) error {
 		return nil // genesis is always present
 	}
 	if existing, ok := t.blocks[b.ID]; ok {
-		if existing.Parent != b.Parent || existing.Height != b.Height {
+		if existing.Parent != b.Parent || existing.Height != b.Height ||
+			existing.Weight != b.Weight || !bytes.Equal(existing.Payload, b.Payload) {
 			return fmt.Errorf("core: conflicting block %s already attached", b.ID.Short())
 		}
 		return nil
@@ -83,6 +111,12 @@ func (t *Tree) Attach(b *Block) error {
 	sort.Slice(t.children[b.Parent], func(i, j int) bool {
 		return t.children[b.Parent][i] < t.children[b.Parent][j]
 	})
+	delete(t.leaves, b.Parent)
+	t.leaves[b.ID] = struct{}{}
+	if b.Height > t.maxHeight {
+		t.maxHeight = b.Height
+	}
+	t.chainWeight[b.ID] = t.chainWeight[b.Parent] + b.Weight
 	t.subtreeWeight[b.ID] = b.Weight
 	for p := b.Parent; p != ""; {
 		t.subtreeWeight[p] += b.Weight
@@ -117,13 +151,20 @@ func (t *Tree) MaxForkDegree() int {
 // (the block's own weight included). Used by the GHOST selector.
 func (t *Tree) SubtreeWeight(id BlockID) int { return t.subtreeWeight[id] }
 
-// Leaves returns the IDs of all leaves, in lexicographic order.
+// ChainWeight returns the cumulative weight of the chain from genesis to
+// id, genesis excluded — exactly WeightScore{}.Of(t.ChainTo(id)) without
+// materializing the chain. Returns 0 for genesis or an absent block.
+func (t *Tree) ChainWeight(id BlockID) int { return t.chainWeight[id] }
+
+// LeafCount returns the number of leaves without allocating.
+func (t *Tree) LeafCount() int { return len(t.leaves) }
+
+// Leaves returns the IDs of all leaves, in lexicographic order. The cost
+// is O(#leaves log #leaves), independent of the tree size.
 func (t *Tree) Leaves() []BlockID {
-	var out []BlockID
-	for id := range t.blocks {
-		if len(t.children[id]) == 0 {
-			out = append(out, id)
-		}
+	out := make([]BlockID, 0, len(t.leaves))
+	for id := range t.leaves {
+		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -146,16 +187,8 @@ func (t *Tree) ChainTo(id BlockID) Chain {
 	return out
 }
 
-// Height returns the maximum block height present in the tree.
-func (t *Tree) Height() int {
-	h := 0
-	for _, b := range t.blocks {
-		if b.Height > h {
-			h = b.Height
-		}
-	}
-	return h
-}
+// Height returns the maximum block height present in the tree, O(1).
+func (t *Tree) Height() int { return t.maxHeight }
 
 // Blocks returns every block in the tree in (height, ID) order.
 // The genesis block comes first.
@@ -173,14 +206,17 @@ func (t *Tree) Blocks() []*Block {
 	return out
 }
 
-// Clone returns a deep copy of the tree structure (block pointers are
-// shared; blocks are immutable).
+// Clone returns a deep copy of the tree structure, indices included
+// (block pointers are shared; blocks are immutable).
 func (t *Tree) Clone() *Tree {
 	nt := &Tree{
 		blocks:        make(map[BlockID]*Block, len(t.blocks)),
 		children:      make(map[BlockID][]BlockID, len(t.children)),
 		root:          t.root,
 		subtreeWeight: make(map[BlockID]int, len(t.subtreeWeight)),
+		leaves:        make(map[BlockID]struct{}, len(t.leaves)),
+		maxHeight:     t.maxHeight,
+		chainWeight:   make(map[BlockID]int, len(t.chainWeight)),
 	}
 	for id, b := range t.blocks {
 		nt.blocks[id] = b
@@ -192,6 +228,12 @@ func (t *Tree) Clone() *Tree {
 	}
 	for id, w := range t.subtreeWeight {
 		nt.subtreeWeight[id] = w
+	}
+	for id := range t.leaves {
+		nt.leaves[id] = struct{}{}
+	}
+	for id, w := range t.chainWeight {
+		nt.chainWeight[id] = w
 	}
 	return nt
 }

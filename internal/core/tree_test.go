@@ -77,6 +77,81 @@ func TestAttachIdempotentAndConflict(t *testing.T) {
 	if err := tr.Attach(&evil); err == nil {
 		t.Error("conflicting attach accepted")
 	}
+	// Same ID, different weight (WithWeight keeps the ID): conflict —
+	// accepting it as a duplicate would desynchronize the weight caches.
+	if err := tr.Attach(b1.WithWeight(7)); err == nil {
+		t.Error("re-weighted twin accepted as duplicate")
+	}
+	if got := tr.SubtreeWeight(GenesisID); got != 2 {
+		t.Errorf("rejected twin perturbed weight cache: %d, want 2", got)
+	}
+	// Same ID, different payload: conflict.
+	evil2 := *b1
+	evil2.Payload = []byte("tampered")
+	if err := tr.Attach(&evil2); err == nil {
+		t.Error("payload-tampered twin accepted as duplicate")
+	}
+}
+
+func TestChainWeightIndex(t *testing.T) {
+	g := Genesis()
+	a := child(g, 0, 1) // weight 1
+	b := child(a, 0, 2).WithWeight(3)
+	c := child(g, 1, 3).WithWeight(2)
+	tr := buildTree(t, a, b, c)
+	for id, want := range map[BlockID]int{
+		GenesisID: 0, // genesis excluded, matching WeightScore
+		a.ID:      1,
+		b.ID:      4,
+		c.ID:      2,
+	} {
+		if got := tr.ChainWeight(id); got != want {
+			t.Errorf("ChainWeight(%s) = %d, want %d", id.Short(), got, want)
+		}
+		if got, want := tr.ChainWeight(id), (WeightScore{}).Of(tr.ChainTo(id)); got != want {
+			t.Errorf("ChainWeight(%s) = %d, WeightScore gives %d", id.Short(), got, want)
+		}
+	}
+	if tr.ChainWeight("missing") != 0 {
+		t.Error("ChainWeight of missing block not 0")
+	}
+}
+
+func TestLeafAndHeightIndices(t *testing.T) {
+	tr := NewTree()
+	if got := tr.Leaves(); len(got) != 1 || got[0] != GenesisID {
+		t.Fatalf("fresh tree leaves %v", got)
+	}
+	g := Genesis()
+	a := child(g, 0, 1)
+	b := child(a, 0, 2)
+	c := child(g, 1, 3)
+	for i, blk := range []*Block{a, b, c} {
+		if err := tr.Attach(blk); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tr.Leaves(), scanLeaves(tr); len(got) != len(want) {
+			t.Fatalf("after attach %d: leaf index %v, scan %v", i, got, want)
+		}
+		if got, want := tr.Height(), scanHeight(tr); got != want {
+			t.Fatalf("after attach %d: cached height %d, scan %d", i, got, want)
+		}
+	}
+	if tr.LeafCount() != 2 { // b and c
+		t.Fatalf("LeafCount = %d, want 2", tr.LeafCount())
+	}
+	// Clone carries the indices independently.
+	cl := tr.Clone()
+	d := child(b, 0, 4)
+	if err := tr.Attach(d); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Height() != 2 || cl.LeafCount() != 2 {
+		t.Fatal("clone indices affected by original's attach")
+	}
+	if tr.Height() != 3 || tr.LeafCount() != 2 {
+		t.Fatalf("indices after growth: height %d leaves %d", tr.Height(), tr.LeafCount())
+	}
 }
 
 func TestAttachGenesisNoop(t *testing.T) {

@@ -111,7 +111,7 @@ func (r *Result) ComputeForkMax() {
 func (r *Result) FinalHeights() []int {
 	out := make([]int, 0, len(r.Trees))
 	for _, t := range r.Trees {
-		out = append(out, r.Selector.Select(t).Height())
+		out = append(out, core.HeadOf(r.Selector, t).Height)
 	}
 	sort.Ints(out)
 	return out

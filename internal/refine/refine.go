@@ -90,7 +90,9 @@ func (bt *BT) Append(proc int, m tape.Merit, round int, payload []byte) (*core.B
 		op = bt.rec.InvokeAppend(proc, &core.Block{ID: "pending", Payload: payload})
 	}
 	bt.mu.Lock()
-	parent := bt.f.Select(bt.tree).Head()
+	// Head-only fast path: mining needs the selected head, not the
+	// materialized chain.
+	parent := core.HeadOf(bt.f, bt.tree)
 	var validated *core.Block
 	for i := 0; i < bt.maxMine; i++ {
 		if b, ok := bt.o.GetToken(m, parent, proc, round, payload); ok {

@@ -123,9 +123,10 @@ func (p *Process) Read() core.Chain {
 }
 
 // SelectedHead returns the head of f(bt_i) without recording a read —
-// protocol layers use it to pick the parent to mine on.
+// protocol layers use it to pick the parent to mine on. It takes the
+// selector's head-only fast path, so no chain is materialized.
 func (p *Process) SelectedHead() *core.Block {
-	return p.F.Select(p.tree).Head()
+	return core.HeadOf(p.F, p.tree)
 }
 
 // AppendLocal performs the local half of a successful refined append at
