@@ -14,8 +14,10 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
+	"repro/internal/benchsuite"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -67,6 +69,16 @@ func BenchmarkFigure14MessagePassingHierarchy(b *testing.B) { benchExperiment(b,
 func BenchmarkTheoremLRCNecessity(b *testing.B)             { benchExperiment(b, "lrc") }
 func BenchmarkTheorem48Impossibility(b *testing.B)          { benchExperiment(b, "thm48") }
 func BenchmarkTable1Classification(b *testing.B)            { benchExperiment(b, "table1") }
+
+// BenchmarkSimScale is the tracked end-to-end pipeline benchmark
+// (internal/benchsuite): N replicas, one flooded block per tick,
+// periodic read batches, full Classify. Its per-snapshot trajectory is
+// recorded by cmd/bench into BENCH_<date>.json.
+func BenchmarkSimScale(b *testing.B) {
+	for _, c := range benchsuite.Cases() {
+		b.Run(strings.TrimPrefix(c.Name, "SimScale/"), c.Bench)
+	}
+}
 
 // powTrace runs one Bitcoin-style simulation and returns its result
 // (shared input for the fork-choice ablation).

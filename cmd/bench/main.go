@@ -1,0 +1,168 @@
+// Command bench runs the tracked benchmark suite (internal/benchsuite)
+// with -benchmem semantics, emits a BENCH_<date>.json snapshot, and
+// compares it against the most recent previous snapshot in the same
+// directory — the repository's recorded performance trajectory.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-dir .] [-count 1] [-filter substring] [-label note]
+//
+// A CI step (or a release ritual) runs it after performance-relevant
+// changes; the committed BENCH_*.json files make regressions diffable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Snapshot is the schema of a BENCH_<date>.json file.
+type Snapshot struct {
+	Date      string  `json:"date"` // RFC 3339
+	Label     string  `json:"label,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Entries   []Entry `json:"entries"`
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
+	count := flag.Int("count", 1, "benchmark iterations per case (benchtime <count>x)")
+	filter := flag.String("filter", "", "run only cases whose name contains this substring")
+	label := flag.String("label", "", "free-form note stored in the snapshot")
+	flag.Parse()
+
+	snap := Snapshot{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range benchsuite.Cases() {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		n := *count
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := c.Run(); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		e := Entry{
+			Name:        c.Name,
+			Iterations:  n,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+		}
+		snap.Entries = append(snap.Entries, e)
+		fmt.Printf("%-24s %14.0f ns/op %12d B/op %10d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	if len(snap.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no cases matched")
+		os.Exit(1)
+	}
+
+	out := filepath.Join(*dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	prev, prevName := latestSnapshot(*dir, out)
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", out)
+
+	if prev == nil {
+		fmt.Println("no previous snapshot to compare against")
+		return
+	}
+	fmt.Printf("\nvs %s (%s):\n", prevName, prev.Date)
+	byName := make(map[string]Entry, len(prev.Entries))
+	for _, e := range prev.Entries {
+		byName[e.Name] = e
+	}
+	for _, e := range snap.Entries {
+		p, ok := byName[e.Name]
+		if !ok {
+			fmt.Printf("%-24s (new)\n", e.Name)
+			continue
+		}
+		fmt.Printf("%-24s time %+7.1f%%   allocs %+7.1f%%\n",
+			e.Name, delta(e.NsPerOp, p.NsPerOp), delta(float64(e.AllocsPerOp), float64(p.AllocsPerOp)))
+	}
+}
+
+func delta(now, before float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (now - before) / before * 100
+}
+
+// latestSnapshot loads the BENCH_*.json in dir with the newest internal
+// date, excluding the output path itself.
+func latestSnapshot(dir, exclude string) (*Snapshot, string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, ""
+	}
+	sort.Strings(matches)
+	var best *Snapshot
+	var bestName string
+	for _, m := range matches {
+		if sameFile(m, exclude) {
+			continue
+		}
+		data, err := os.ReadFile(m)
+		if err != nil {
+			continue
+		}
+		var s Snapshot
+		if json.Unmarshal(data, &s) != nil {
+			continue
+		}
+		if best == nil || s.Date > best.Date {
+			cp := s
+			best, bestName = &cp, filepath.Base(m)
+		}
+	}
+	return best, bestName
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}

@@ -78,7 +78,7 @@ func render(res *protocols.Result) {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "p%d │", p)
 		for _, r := range byProc[p] {
-			fmt.Fprintf(&sb, " [l=%d %s]", r.Chain.Height(), headShort(r.Chain))
+			fmt.Fprintf(&sb, " [l=%d %s]", r.Chain().Height(), headShort(r.Chain()))
 		}
 		fmt.Println(sb.String())
 	}

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"testing"
+
+	"repro/internal/benchsuite"
+	"repro/internal/consistency"
+	"repro/internal/protocols"
+	"repro/internal/protocols/bitcoin"
+	"repro/internal/protocols/ethereum"
+	"repro/internal/simnet"
+)
+
+// pipelineDigest folds a full protocol run — every recorded operation
+// (with its returned chain), every communication event, every replica's
+// final tree and both checker verdicts — into one hash. The golden
+// values below were captured before the pipeline performance pass
+// (closure-heap scheduler, copied chain reads, multi-pass checkers) and
+// pin that the rewritten pipeline replays byte-identical histories and
+// verdicts for fixed seeds.
+func pipelineDigest(res *protocols.Result) string {
+	h := fnv.New64a()
+	io.WriteString(h, res.History.String())
+	for _, op := range res.History.Ops {
+		io.WriteString(h, op.String())
+	}
+	for _, e := range res.History.Comm {
+		io.WriteString(h, e.String())
+	}
+	for _, t := range res.Trees {
+		for _, b := range t.Blocks() {
+			io.WriteString(h, string(b.ID))
+			io.WriteString(h, string(b.Parent))
+		}
+	}
+	chk := consistency.NewChecker(res.Score, nil)
+	sc, ec := chk.Classify(res.History)
+	fmt.Fprintf(h, "SC=%v%v EC=%v%v", sc.OK, sc.Failing(), ec.OK, ec.Failing())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestPipelineDeterminismPinned replays fixed-seed runs across every
+// layer the performance pass touches — PoW flooding over FIFO links,
+// message loss via DropNth, GHOST selection (subtree-weight index) —
+// and compares against digests recorded from the pre-rewrite pipeline.
+func TestPipelineDeterminismPinned(t *testing.T) {
+	runs := []struct {
+		name string
+		want string
+		run  func() *protocols.Result
+	}{
+		{"bitcoin-seed1", "6e285a33a4969092", func() *protocols.Result {
+			cfg := bitcoin.Config{}
+			cfg.N = 4
+			cfg.Rounds = 120
+			cfg.Seed = 1
+			cfg.ReadEvery = 15
+			cfg.Difficulty = 5
+			return bitcoin.Run(cfg)
+		}},
+		{"bitcoin-drop-seed9", "3a874a69fa33c8b7", func() *protocols.Result {
+			cfg := bitcoin.Config{}
+			cfg.N = 4
+			cfg.Rounds = 120
+			cfg.Seed = 9
+			cfg.ReadEvery = 15
+			cfg.Difficulty = 5
+			cfg.DropRule = simnet.DropNth(3, simnet.DropToProcess(2))
+			return bitcoin.Run(cfg)
+		}},
+		{"ethereum-seed7", "20447fd3bd895c9b", func() *protocols.Result {
+			cfg := ethereum.Config{Difficulty: 4}
+			cfg.N = 4
+			cfg.Rounds = 60
+			cfg.Seed = 7
+			cfg.ReadEvery = 10
+			return ethereum.Run(cfg)
+		}},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			got := pipelineDigest(r.run())
+			if got != r.want {
+				t.Fatalf("pipeline digest changed: got %s, want %s (fixed-seed histories/trees/verdicts must be identical)", got, r.want)
+			}
+		})
+	}
+}
+
+// TestSimScaleDeterminismPinned pins the benchmark workload itself: the
+// block/read/comm counts and verdicts of a small SimScale run must not
+// drift across the scheduler and history-interning rewrites.
+func TestSimScaleDeterminismPinned(t *testing.T) {
+	got := benchsuite.RunSimScale(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5})
+	want := benchsuite.ScaleStats{Blocks: 300, Reads: 72, CommEvts: 5100, MaxHeight: 106, SCOK: false, ECOK: true}
+	if got != want {
+		t.Fatalf("SimScale drifted:\n got %+v\nwant %+v", got, want)
+	}
+}

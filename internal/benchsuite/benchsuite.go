@@ -1,0 +1,150 @@
+// Package benchsuite defines the repository's tracked benchmark suite:
+// the large-scale simulation→history→checker pipeline workloads whose
+// trajectory is recorded in BENCH_<date>.json snapshots (see cmd/bench)
+// and wrapped as ordinary testing benchmarks in the root bench_test.go.
+//
+// The headline workload, SimScale, drives the whole pipeline the way the
+// protocol simulators do: N replicas over a FIFO synchronous simnet,
+// one mined block per tick flooded to every replica, periodic read()
+// batches at every process, and a full consistency Classify over the
+// recorded history. It is the workload behind DESIGN.md ablations #6
+// (closure-heap vs. flat-heap scheduler) and #7 (copied vs. interned
+// chain reads).
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// ScaleConfig parameterizes one SimScale pipeline run.
+type ScaleConfig struct {
+	// N is the number of replicas.
+	N int
+	// Blocks is the number of mined blocks (one per virtual tick,
+	// miner chosen round-robin; each block floods to all N replicas).
+	Blocks int
+	// ReadEvery schedules a read() at every process each ReadEvery
+	// ticks; 0 means Blocks/8 (eight read batches per run).
+	ReadEvery int64
+	// Seed drives the delivery-delay randomness.
+	Seed uint64
+}
+
+// ScaleStats summarizes one SimScale run (used by sanity checks and the
+// determinism pinning test).
+type ScaleStats struct {
+	Blocks    int  // blocks attached at replica 0
+	Reads     int  // completed reads of correct processes
+	CommEvts  int  // recorded send/receive/update events
+	MaxHeight int  // height of replica 0's tree
+	SCOK      bool // Strong Consistency verdict
+	ECOK      bool // Eventual Consistency verdict
+}
+
+// RunSimScale executes the full pipeline once: simulate, record, check.
+// The workload is deterministic for a fixed config.
+func RunSimScale(cfg ScaleConfig) ScaleStats {
+	if cfg.ReadEvery <= 0 {
+		cfg.ReadEvery = int64(cfg.Blocks / 8)
+		if cfg.ReadEvery < 1 {
+			cfg.ReadEvery = 1
+		}
+	}
+	sim := simnet.NewSim(cfg.Seed)
+	g := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: 3}, core.LongestChain{})
+	g.Net.SetFIFO(true)
+	g.SetPredicate(core.WellFormed{})
+
+	// Mining: one block per tick, miner round-robin. The miner extends
+	// its local selected head, which can lag in-flight deliveries by up
+	// to δ ticks — natural short-lived forks, as in the PoW simulators.
+	for r := 0; r < cfg.Blocks; r++ {
+		r := r
+		p := g.Procs[r%cfg.N]
+		sim.Schedule(int64(r+1), func() {
+			head := p.SelectedHead()
+			blk := core.NewBlock(head.ID, head.Height+1, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+			p.AppendLocal(blk)
+		})
+	}
+	// Periodic read batches at every process.
+	for t := cfg.ReadEvery; t <= int64(cfg.Blocks); t += cfg.ReadEvery {
+		tt := t
+		sim.Schedule(tt, func() {
+			for _, pr := range g.Procs {
+				pr.Read()
+			}
+		})
+	}
+	sim.RunUntilIdle()
+	// Post-convergence read batch: the liveness tail window.
+	for _, pr := range g.Procs {
+		pr.Read()
+	}
+
+	h := g.History()
+	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
+	sc, ec := chk.Classify(h)
+
+	return ScaleStats{
+		Blocks:    g.Procs[0].Tree().Len() - 1,
+		Reads:     len(h.Reads()),
+		CommEvts:  len(h.Comm),
+		MaxHeight: g.Procs[0].Tree().Height(),
+		SCOK:      sc.OK,
+		ECOK:      ec.OK,
+	}
+}
+
+// Case is one tracked benchmark: Run executes one self-verifying
+// iteration (cmd/bench times it directly), Bench is the testing.B
+// wrapper for `go test -bench`.
+type Case struct {
+	Name  string
+	Run   func() error
+	Bench func(b *testing.B)
+}
+
+// scaleCase wraps one SimScale config as a benchmark case. A lossless
+// synchronous flood with post-convergence reads must satisfy EC; the
+// case fails if it does not, so the suite doubles as a correctness
+// check at scale.
+func scaleCase(cfg ScaleConfig) Case {
+	name := fmt.Sprintf("SimScale/N%d-b%d", cfg.N, cfg.Blocks)
+	run := func() error {
+		st := RunSimScale(cfg)
+		if !st.ECOK {
+			return fmt.Errorf("%s: EC violated on a lossless synchronous run", name)
+		}
+		if st.Blocks != cfg.Blocks {
+			return fmt.Errorf("%s: %d blocks attached, want %d", name, st.Blocks, cfg.Blocks)
+		}
+		return nil
+	}
+	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+// Cases returns the tracked suite, smallest first. All entries are
+// deterministic and self-verifying.
+func Cases() []Case {
+	return []Case{
+		scaleCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
+		scaleCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
+		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42}),
+		scaleCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
+	}
+}

@@ -17,10 +17,20 @@
 // are checked exactly, while Ever Growing Tree and Eventual Prefix
 // exclude a configurable trailing "horizon" of reads for which the
 // history contains no future.
+//
+// The checkers are single-pass over shared artifacts: one analysis of a
+// history (the read list, one score per distinct returned chain, the
+// earliest-append index per block, the liveness tail window) is computed
+// once and reused by every property, and Classify shares the property
+// reports common to both criteria instead of recomputing them per
+// verdict.
 package consistency
 
 import (
 	"fmt"
+	"reflect"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/history"
@@ -92,6 +102,13 @@ type Checker struct {
 	// Horizon overrides the liveness tail-window size; 0 means
 	// max(2, procs).
 	Horizon int
+
+	// mu serializes the property checkers: they share a one-entry
+	// analysis cache whose artifact maps and memoized reports are
+	// filled in lazily, so concurrent checks on one Checker are safe
+	// (they run one at a time; use separate Checkers for parallelism).
+	mu    sync.Mutex
+	lastA *analysis
 }
 
 // NewChecker returns a Checker with the given score and predicate
@@ -118,13 +135,151 @@ func (c *Checker) window(h *history.History) int {
 	return w
 }
 
-// tail returns the last window reads of the history (response order).
-func (c *Checker) tail(h *history.History, reads []*history.Op) []*history.Op {
-	w := c.window(h)
-	if w > len(reads) {
-		w = len(reads)
+// chainKey identifies a read's returned chain: in a tree the chain is
+// determined by its head (and the length pins degenerate cases), so
+// per-chain work — scores, validity scans, prefix tests — is shared
+// between the many reads that return the same chain.
+type chainKey struct {
+	head core.BlockID
+	n    int
+}
+
+func keyOf(op *history.Op) chainKey { return chainKey{op.Head, op.ChainLen} }
+
+// chainFact caches the Block Validity scan of one distinct chain.
+type chainFact struct {
+	// clean is true when every non-genesis block satisfies P and was
+	// the argument of some append().
+	clean bool
+	// maxAppendInv is the largest earliest-append invocation index
+	// over the chain's blocks (valid only when clean).
+	maxAppendInv int
+	// nonGenesis counts the chain's non-genesis blocks.
+	nonGenesis int
+}
+
+// analysis is the shared artifact set of one (history, window) pair:
+// everything the property checkers need, computed in one pass and
+// reused across properties and criteria.
+type analysis struct {
+	c *Checker
+	h *history.History
+	// reads is h.Reads() (completed reads of correct processes).
+	reads []*history.Op
+	// scores[i] is Score.Of(reads[i].Chain()), computed once per
+	// distinct chain.
+	scores []int
+	// scoreByChain shares the score computation across reads returning
+	// the same chain (and with per-process scans such as LMR).
+	scoreByChain map[chainKey]int
+	// tailStart indexes the liveness tail window: reads[tailStart:].
+	tailStart int
+	// score and pred snapshot the Checker parameters the artifacts
+	// were computed under (cache invalidation).
+	score core.Score
+	pred  core.Predicate
+	// appendInv maps block ID → the operation with the earliest
+	// append(b) invocation (pending and failed appends included, as
+	// Block Validity only needs the invocation).
+	appendInv map[core.BlockID]*history.Op
+	// facts caches the Block Validity scan per distinct chain.
+	facts map[chainKey]*chainFact
+
+	// Property reports, computed at most once per analysis and shared
+	// between the SC and EC verdicts.
+	repBV, repLMR, repSP, repEGT, repEP *Report
+}
+
+// sameParam compares two checker parameters (Score/Predicate interface
+// values), treating non-comparable dynamic types as "changed" instead
+// of letting == panic on them.
+func sameParam(a, b any) bool {
+	if a == nil || b == nil {
+		return a == b
 	}
-	return reads[len(reads)-w:]
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// analyze computes (or returns the cached) artifact set for h. The
+// caller must hold c.mu for the whole check, not just this lookup: the
+// returned analysis memoizes lazily.
+func (c *Checker) analyze(h *history.History) *analysis {
+	w := c.window(h)
+	if a := c.lastA; a != nil && a.h == h && sameParam(a.score, c.Score) && sameParam(a.pred, c.P) &&
+		a.tailStart == max(0, len(a.reads)-w) {
+		return a
+	}
+	a := &analysis{
+		c:            c,
+		h:            h,
+		reads:        h.Reads(),
+		score:        c.Score,
+		pred:         c.P,
+		scoreByChain: make(map[chainKey]int),
+		appendInv:    make(map[core.BlockID]*history.Op),
+		facts:        make(map[chainKey]*chainFact),
+	}
+	a.scores = make([]int, len(a.reads))
+	for i, r := range a.reads {
+		a.scores[i] = a.scoreOf(r)
+	}
+	for _, op := range h.Ops {
+		if op.Kind == history.OpAppend && op.Block != nil {
+			// The invocation suffices (einv(append(b)) ր ersp(r));
+			// keep the earliest invocation per block.
+			if prev, ok := a.appendInv[op.Block.ID]; !ok || op.InvIndex < prev.InvIndex {
+				a.appendInv[op.Block.ID] = op
+			}
+		}
+	}
+	a.tailStart = max(0, len(a.reads)-w)
+	c.lastA = a
+	return a
+}
+
+// scoreOf returns the score of op's returned chain, shared per distinct
+// chain.
+func (a *analysis) scoreOf(op *history.Op) int {
+	k := keyOf(op)
+	if s, ok := a.scoreByChain[k]; ok {
+		return s
+	}
+	s := a.c.Score.Of(op.Chain())
+	a.scoreByChain[k] = s
+	return s
+}
+
+// factOf returns the cached Block Validity scan of op's chain.
+func (a *analysis) factOf(op *history.Op) *chainFact {
+	k := keyOf(op)
+	if f, ok := a.facts[k]; ok {
+		return f
+	}
+	f := &chainFact{clean: true, maxAppendInv: -1}
+	for _, b := range op.Chain() {
+		if b.IsGenesis() {
+			continue
+		}
+		f.nonGenesis++
+		if !a.c.P.Valid(b) {
+			f.clean = false
+			continue
+		}
+		ap, ok := a.appendInv[b.ID]
+		if !ok {
+			f.clean = false
+			continue
+		}
+		if ap.InvIndex > f.maxAppendInv {
+			f.maxAppendInv = ap.InvIndex
+		}
+	}
+	a.facts[k] = f
+	return f
 }
 
 // BlockValidity checks Definition 3.2's first property: every non-genesis
@@ -132,28 +287,36 @@ func (c *Checker) tail(h *history.History, reads []*history.Op) []*history.Op {
 // P and was the argument of an append() whose invocation program-order
 // precedes the read's response.
 func (c *Checker) BlockValidity(h *history.History) *Report {
-	rep := &Report{Property: "BlockValidity", OK: true}
-	appends := make(map[core.BlockID]*history.Op)
-	for _, op := range h.Ops {
-		if op.Kind == history.OpAppend && op.Block != nil {
-			// The invocation suffices (einv(append(b)) ր ersp(r));
-			// keep the earliest invocation per block.
-			if prev, ok := appends[op.Block.ID]; !ok || op.InvIndex < prev.InvIndex {
-				appends[op.Block.ID] = op
-			}
-		}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyze(h).blockValidity()
+}
+
+func (a *analysis) blockValidity() *Report {
+	if a.repBV != nil {
+		return a.repBV
 	}
-	for _, r := range h.Reads() {
-		for _, b := range r.Chain {
+	rep := &Report{Property: "BlockValidity", OK: true}
+	for _, r := range a.reads {
+		f := a.factOf(r)
+		if f.clean && f.maxAppendInv < r.RspIndex {
+			// The chain scan is shared: only the per-read real-time
+			// bound needs checking here.
+			rep.Checked += f.nonGenesis
+			continue
+		}
+		// Violating read: re-scan its chain to report the exact
+		// offending blocks.
+		for _, b := range r.Chain() {
 			if b.IsGenesis() {
 				continue
 			}
 			rep.Checked++
-			if !c.P.Valid(b) {
+			if !a.c.P.Valid(b) {
 				rep.violate("read %s returned block %s with P(b)=false", r, b.ID.Short())
 				continue
 			}
-			ap, ok := appends[b.ID]
+			ap, ok := a.appendInv[b.ID]
 			if !ok {
 				rep.violate("read %s returned block %s never passed to append()", r, b.ID.Short())
 				continue
@@ -164,49 +327,70 @@ func (c *Checker) BlockValidity(h *history.History) *Report {
 			}
 		}
 	}
+	a.repBV = rep
 	return rep
 }
 
 // LocalMonotonicRead checks that along each correct process's sequence of
 // reads the returned scores never decrease.
 func (c *Checker) LocalMonotonicRead(h *history.History) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyze(h).localMonotonicRead()
+}
+
+func (a *analysis) localMonotonicRead() *Report {
+	if a.repLMR != nil {
+		return a.repLMR
+	}
 	rep := &Report{Property: "LocalMonotonicRead", OK: true}
-	for p := 0; p < h.Procs; p++ {
-		if !h.IsCorrect(p) {
+	for p := 0; p < a.h.Procs; p++ {
+		if !a.h.IsCorrect(p) {
 			continue
 		}
 		var prev *history.Op
-		for _, op := range h.ByProcess(p) {
+		prevScore := 0
+		for _, op := range a.h.ByProcess(p) {
 			if op.Kind != history.OpRead {
 				continue
 			}
+			s := a.scoreOf(op)
 			if prev != nil {
 				rep.Checked++
-				if c.Score.Of(prev.Chain) > c.Score.Of(op.Chain) {
+				if prevScore > s {
 					rep.violate("process %d: score dropped %d → %d (%s then %s)",
-						p, c.Score.Of(prev.Chain), c.Score.Of(op.Chain), prev, op)
+						p, prevScore, s, prev, op)
 				}
 			}
-			prev = op
+			prev, prevScore = op, s
 		}
 	}
+	a.repLMR = rep
 	return rep
 }
 
 // StrongPrefix checks that for every pair of reads by correct processes
 // one returned chain prefixes the other. This is the safety property that
 // separates SC from EC.
+//
+// This is the exact pairwise O(r²) variant, kept for exactness of the
+// reported pair; the criterion verdicts (StrongConsistency, Classify)
+// use the sorted O(r log r) variant, whose verdict is provably the same
+// (prefix order on comparable chains is total once sorted by a
+// monotonic score) and pinned equivalent by tests.
 func (c *Checker) StrongPrefix(h *history.History) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.analyze(h)
 	rep := &Report{Property: "StrongPrefix", OK: true}
-	reads := h.Reads()
-	// Sorting by score would give O(n log n) comparisons against the
-	// running maximum; the pairwise scan is kept for exactness of the
-	// reported pair and is benchmarked against the sorted variant in
-	// bench_test.go.
+	reads := a.reads
 	for i := 0; i < len(reads); i++ {
 		for j := i + 1; j < len(reads); j++ {
 			rep.Checked++
-			if !reads[i].Chain.Comparable(reads[j].Chain) {
+			if keyOf(reads[i]) == keyOf(reads[j]) {
+				continue // identical interned chains
+			}
+			if !reads[i].Chain().Comparable(reads[j].Chain()) {
 				rep.violate("incomparable reads: %s vs %s", reads[i], reads[j])
 				if len(rep.Violations) == MaxViolations {
 					return rep
@@ -217,30 +401,45 @@ func (c *Checker) StrongPrefix(h *history.History) *Report {
 	return rep
 }
 
-// StrongPrefixFast is the O(n log n)-comparison variant: reads sorted by
-// score; each chain must prefix the next longer one. Equivalent verdict
-// to StrongPrefix (prefix order on comparable chains is total once sorted
-// by a monotonic score); used by the ablation bench.
+// StrongPrefixFast is the O(r log r + r·h) variant used by the criterion
+// verdicts: reads sorted with sort.Slice by chain length (recording
+// order as the tiebreak), then each chain must prefix the next one.
+// Verdict exactly equivalent to StrongPrefix for any score: a prefix is
+// never longer than its extension, so if all pairs are comparable the
+// length order is a total prefix order and every adjacent pair passes;
+// conversely an adjacent pair that fails (shorter-or-equal yet not a
+// prefix) is itself an incomparable pair.
 func (c *Checker) StrongPrefixFast(h *history.History) *Report {
-	rep := &Report{Property: "StrongPrefix(fast)", OK: true}
-	reads := h.Reads()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyze(h).strongPrefixSorted("StrongPrefix(fast)")
+}
+
+func (a *analysis) strongPrefixSorted(name string) *Report {
+	rep := &Report{Property: name, OK: true}
+	reads := a.reads
 	if len(reads) < 2 {
 		return rep
 	}
-	sorted := make([]*history.Op, len(reads))
-	copy(sorted, reads)
-	// Insertion sort by score keeps the checker dependency-free and is
-	// fine for the history sizes we generate; replace with sort.Slice
-	// if histories grow.
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && c.Score.Of(sorted[j].Chain) < c.Score.Of(sorted[j-1].Chain); j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
+	idx := make([]int, len(reads))
+	for i := range idx {
+		idx[i] = i
 	}
-	for i := 1; i < len(sorted); i++ {
+	sort.Slice(idx, func(x, y int) bool {
+		ix, iy := idx[x], idx[y]
+		if reads[ix].ChainLen != reads[iy].ChainLen {
+			return reads[ix].ChainLen < reads[iy].ChainLen
+		}
+		return ix < iy
+	})
+	for k := 1; k < len(idx); k++ {
 		rep.Checked++
-		if !sorted[i-1].Chain.Prefix(sorted[i].Chain) {
-			rep.violate("incomparable reads: %s vs %s", sorted[i-1], sorted[i])
+		prev, cur := reads[idx[k-1]], reads[idx[k]]
+		if keyOf(prev) == keyOf(cur) {
+			continue // identical interned chains
+		}
+		if !prev.Chain().Prefix(cur.Chain()) {
+			rep.violate("incomparable reads: %s vs %s", prev, cur)
 		}
 	}
 	return rep
@@ -253,19 +452,28 @@ func (c *Checker) StrongPrefixFast(h *history.History) *Report {
 // stagnation persisted to the end of the recorded prefix while the tree
 // demonstrably kept growing. See the Checker doc comment.
 func (c *Checker) EverGrowingTree(h *history.History) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyze(h).everGrowingTree()
+}
+
+func (a *analysis) everGrowingTree() *Report {
+	if a.repEGT != nil {
+		return a.repEGT
+	}
 	rep := &Report{Property: "EverGrowingTree", OK: true}
-	reads := h.Reads() // response order
-	tail := c.tail(h, reads)
-	for _, r := range reads {
+	reads := a.reads
+	for i, r := range reads {
 		rep.Checked++
-		s := c.Score.Of(r.Chain)
+		s := a.scores[i]
 		maxT := -1
 		var stale *history.Op
-		for _, t := range tail {
+		for j := a.tailStart; j < len(reads); j++ {
+			t := reads[j]
 			if !r.Before(t) {
 				continue
 			}
-			st := c.Score.Of(t.Chain)
+			st := a.scores[j]
 			if st > maxT {
 				maxT = st
 			}
@@ -277,10 +485,12 @@ func (c *Checker) EverGrowingTree(h *history.History) *Report {
 			rep.violate("stagnation persists after %s: final-window read %s has score ≤ %d while the window grew to %d",
 				r, stale, s, maxT)
 			if len(rep.Violations) == MaxViolations {
+				a.repEGT = rep
 				return rep
 			}
 		}
 	}
+	a.repEGT = rep
 	return rep
 }
 
@@ -290,39 +500,102 @@ func (c *Checker) EverGrowingTree(h *history.History) *Report {
 // structurally diverge below s, i.e. mcps(a, b) < min(s, score(a),
 // score(b)). See the Checker doc comment for why the bound involves both
 // chains' own scores.
+//
+// The pairwise MCPS over the window is computed once — O(w²·h) total,
+// not per read: a pair (a, b) can trip some read iff mcps(a, b) <
+// min(score(a), score(b)) (for any read r the bound min(s, score(a),
+// score(b)) is at most min(score(a), score(b))). On a history with no
+// such divergent window pair — the common case — the per-read loop
+// degenerates to counting; otherwise the original exact enumeration
+// replays to produce identical reports.
 func (c *Checker) EventualPrefix(h *history.History) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyze(h).eventualPrefix()
+}
+
+func (a *analysis) eventualPrefix() *Report {
+	if a.repEP != nil {
+		return a.repEP
+	}
 	rep := &Report{Property: "EventualPrefix", OK: true}
-	reads := h.Reads()
-	tail := c.tail(h, reads)
-	for _, r := range reads {
-		s := c.Score.Of(r.Chain)
-		var after []*history.Op
-		for _, t := range tail {
-			if r.Before(t) {
-				after = append(after, t)
+	reads := a.reads
+	tail := reads[a.tailStart:]
+
+	// One pass over window pairs: mcps, and whether any pair diverges
+	// below the scores of its own two chains.
+	divergent := false
+	mcps := make([][]int, len(tail))
+	for x := range tail {
+		mcps[x] = make([]int, len(tail))
+	}
+	for x := 0; x < len(tail); x++ {
+		sx := a.scores[a.tailStart+x]
+		for y := x + 1; y < len(tail); y++ {
+			sy := a.scores[a.tailStart+y]
+			var m int
+			if keyOf(tail[x]) == keyOf(tail[y]) {
+				m = sx // identical interned chains: mcps is the score itself
+			} else {
+				m = core.MCPS(a.c.Score, tail[x].Chain(), tail[y].Chain())
+			}
+			mcps[x][y] = m
+			if m < sx && m < sy {
+				divergent = true
 			}
 		}
-		for a := 0; a < len(after); a++ {
-			for b := a + 1; b < len(after); b++ {
+	}
+
+	if !divergent {
+		// No window pair can trip any read: the enumeration can only
+		// count facts.
+		for _, r := range reads {
+			k := 0
+			for j := a.tailStart; j < len(reads); j++ {
+				if r.Before(reads[j]) {
+					k++
+				}
+			}
+			rep.Checked += k * (k - 1) / 2
+		}
+		a.repEP = rep
+		return rep
+	}
+
+	// Divergence in the window: replay the exact original enumeration
+	// (reads in order, window pairs in order) for identical reports.
+	for i, r := range reads {
+		s := a.scores[i]
+		var after []int // indices into tail
+		for j := 0; j < len(tail); j++ {
+			if r.Before(tail[j]) {
+				after = append(after, j)
+			}
+		}
+		for x := 0; x < len(after); x++ {
+			for y := x + 1; y < len(after); y++ {
 				rep.Checked++
-				m := core.MCPS(c.Score, after[a].Chain, after[b].Chain)
+				ax, ay := after[x], after[y]
+				m := mcps[ax][ay]
 				bound := s
-				if sa := c.Score.Of(after[a].Chain); sa < bound {
+				if sa := a.scores[a.tailStart+ax]; sa < bound {
 					bound = sa
 				}
-				if sb := c.Score.Of(after[b].Chain); sb < bound {
+				if sb := a.scores[a.tailStart+ay]; sb < bound {
 					bound = sb
 				}
 				if m < bound {
 					rep.violate("after %s (score %d) final-window reads still diverge: mcps(%s, %s)=%d < %d",
-						r, s, after[a], after[b], m, bound)
+						r, s, tail[ax], tail[ay], m, bound)
 					if len(rep.Violations) == MaxViolations {
+						a.repEP = rep
 						return rep
 					}
 				}
 			}
 		}
 	}
+	a.repEP = rep
 	return rep
 }
 
@@ -385,42 +658,65 @@ func (v *Verdict) Failing() []string {
 	return out
 }
 
-// StrongConsistency checks the BT Strong Consistency criterion
-// (Definition 3.2): Block Validity ∧ Local Monotonic Read ∧ Strong
-// Prefix ∧ Ever Growing Tree.
-func (c *Checker) StrongConsistency(h *history.History) *Verdict {
-	reports := []*Report{
-		c.BlockValidity(h),
-		c.LocalMonotonicRead(h),
-		c.StrongPrefix(h),
-		c.EverGrowingTree(h),
-	}
-	v := &Verdict{Criterion: "SC", OK: true, Reports: reports}
+// verdictOf bundles reports into a criterion verdict.
+func verdictOf(criterion string, reports ...*Report) *Verdict {
+	v := &Verdict{Criterion: criterion, OK: true, Reports: reports}
 	for _, r := range reports {
 		v.OK = v.OK && r.OK
 	}
 	return v
+}
+
+// StrongConsistency checks the BT Strong Consistency criterion
+// (Definition 3.2): Block Validity ∧ Local Monotonic Read ∧ Strong
+// Prefix ∧ Ever Growing Tree.
+func (c *Checker) StrongConsistency(h *history.History) *Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.analyze(h)
+	return verdictOf("SC",
+		a.blockValidity(),
+		a.localMonotonicRead(),
+		a.strongPrefix(),
+		a.everGrowingTree(),
+	)
+}
+
+// strongPrefix returns the cached criterion-level Strong Prefix report
+// (sorted variant, reported under the canonical property name).
+func (a *analysis) strongPrefix() *Report {
+	if a.repSP == nil {
+		a.repSP = a.strongPrefixSorted("StrongPrefix")
+	}
+	return a.repSP
 }
 
 // EventualConsistency checks the BT Eventual Consistency criterion
 // (Definition 3.4): Block Validity ∧ Local Monotonic Read ∧ Ever Growing
 // Tree ∧ Eventual Prefix.
 func (c *Checker) EventualConsistency(h *history.History) *Verdict {
-	reports := []*Report{
-		c.BlockValidity(h),
-		c.LocalMonotonicRead(h),
-		c.EverGrowingTree(h),
-		c.EventualPrefix(h),
-	}
-	v := &Verdict{Criterion: "EC", OK: true, Reports: reports}
-	for _, r := range reports {
-		v.OK = v.OK && r.OK
-	}
-	return v
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.analyze(h)
+	return verdictOf("EC",
+		a.blockValidity(),
+		a.localMonotonicRead(),
+		a.everGrowingTree(),
+		a.eventualPrefix(),
+	)
 }
 
 // Classify returns both verdicts, the shape of Table 1's consistency
-// column.
+// column. The artifacts and the three properties shared by the two
+// criteria are computed once.
 func (c *Checker) Classify(h *history.History) (sc, ec *Verdict) {
-	return c.StrongConsistency(h), c.EventualConsistency(h)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.analyze(h)
+	bv := a.blockValidity()
+	lmr := a.localMonotonicRead()
+	egt := a.everGrowingTree()
+	sc = verdictOf("SC", bv, lmr, a.strongPrefix(), egt)
+	ec = verdictOf("EC", bv, lmr, egt, a.eventualPrefix())
+	return sc, ec
 }

@@ -33,7 +33,7 @@ func (c *Checker) MonotonicPrefix(h *history.History) *Report {
 			}
 			if prev != nil {
 				rep.Checked++
-				if !prev.Chain.Prefix(op.Chain) {
+				if !prev.Chain().Prefix(op.Chain()) {
 					rep.violate("process %d reorganised: %s then %s", p, prev, op)
 					if len(rep.Violations) == MaxViolations {
 						return rep

@@ -63,18 +63,43 @@ func Genesis() *Block {
 	return &Block{ID: GenesisID, Height: 0, Creator: -1, Weight: 1}
 }
 
+// hashBlockSum computes the content hash preimage and digest on the
+// stack: parent ID bytes, then creator and round as little-endian
+// uint64s, then the payload — exactly the byte stream the original
+// streaming implementation hashed, so IDs are unchanged.
+func hashBlockSum(parent BlockID, creator, round int, payload []byte) [32]byte {
+	var stack [192]byte
+	buf := append(stack[:0], parent...)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(int64(creator)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(round)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return sha256.Sum256(buf)
+}
+
 // HashBlock computes the content ID for a block chaining to parent with
 // the given creator, round and payload. The hash commits to every field
-// that determines the block's identity.
+// that determines the block's identity. One allocation: the ID string
+// itself.
 func HashBlock(parent BlockID, creator, round int, payload []byte) BlockID {
-	h := sha256.New()
-	h.Write([]byte(parent))
-	var buf [16]byte
-	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(creator)))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(round)))
-	h.Write(buf[:])
-	h.Write(payload)
-	return BlockID(hex.EncodeToString(h.Sum(nil)))
+	sum := hashBlockSum(parent, creator, round, payload)
+	var dst [64]byte
+	hex.Encode(dst[:], sum[:])
+	return BlockID(dst[:])
+}
+
+// hashMatches reports whether id equals the content hash of the given
+// fields without materializing the hex string — the allocation-free
+// comparison WellFormed runs once per block per replica delivery.
+func hashMatches(id BlockID, parent BlockID, creator, round int, payload []byte) bool {
+	if len(id) != 64 {
+		return false
+	}
+	sum := hashBlockSum(parent, creator, round, payload)
+	var dst [64]byte
+	hex.Encode(dst[:], sum[:])
+	return string(dst[:]) == string(id)
 }
 
 // NewBlock builds a block chaining to parent, computing its content ID.

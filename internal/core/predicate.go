@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -46,7 +45,8 @@ func (AlwaysValid) Name() string { return "always" }
 // its parent and payload). Genesis is valid by assumption.
 type WellFormed struct{}
 
-// Valid recomputes the content hash and compares.
+// Valid recomputes the content hash and compares (allocation-free: the
+// digest and hex encoding stay on the stack).
 func (WellFormed) Valid(b *Block) bool {
 	if b == nil {
 		return false
@@ -54,7 +54,7 @@ func (WellFormed) Valid(b *Block) bool {
 	if b.IsGenesis() {
 		return true
 	}
-	return b.ID == HashBlock(b.Parent, b.Creator, b.Round, b.Payload)
+	return hashMatches(b.ID, b.Parent, b.Creator, b.Round, b.Payload)
 }
 
 // Name returns "wellformed".
@@ -67,13 +67,19 @@ type Tx struct {
 	Amount   uint32
 }
 
-// EncodeTxs serializes transactions into a block payload.
+// EncodeTxs serializes transactions into a block payload (little-endian
+// From, To, Amount per record — the same wire format binary.Write
+// produced, without its per-call reflection allocations).
 func EncodeTxs(txs []Tx) []byte {
-	var buf bytes.Buffer
+	out := make([]byte, 0, len(txs)*12)
+	var rec [12]byte
 	for _, tx := range txs {
-		binary.Write(&buf, binary.LittleEndian, tx) //nolint:errcheck // bytes.Buffer cannot fail
+		binary.LittleEndian.PutUint32(rec[0:4], tx.From)
+		binary.LittleEndian.PutUint32(rec[4:8], tx.To)
+		binary.LittleEndian.PutUint32(rec[8:12], tx.Amount)
+		out = append(out, rec[:]...)
 	}
-	return buf.Bytes()
+	return out
 }
 
 // DecodeTxs parses a block payload back into transactions. A malformed
@@ -84,14 +90,14 @@ func DecodeTxs(payload []byte) ([]Tx, error) {
 	if len(payload)%rec != 0 {
 		return nil, fmt.Errorf("core: payload length %d not a multiple of %d", len(payload), rec)
 	}
-	out := make([]Tx, 0, len(payload)/rec)
-	r := bytes.NewReader(payload)
-	for r.Len() > 0 {
-		var tx Tx
-		if err := binary.Read(r, binary.LittleEndian, &tx); err != nil {
-			return nil, err
+	out := make([]Tx, len(payload)/rec)
+	for i := range out {
+		off := i * rec
+		out[i] = Tx{
+			From:   binary.LittleEndian.Uint32(payload[off : off+4]),
+			To:     binary.LittleEndian.Uint32(payload[off+4 : off+8]),
+			Amount: binary.LittleEndian.Uint32(payload[off+8 : off+12]),
 		}
-		out = append(out, tx)
 	}
 	return out, nil
 }

@@ -28,9 +28,11 @@ import (
 //     b.Weight, so chainWeight[leaf] = WeightScore of ChainTo(leaf)),
 //     updated O(1) per Attach;
 //
-// alongside the subtreeWeight cache maintained for GHOST (O(depth) per
-// Attach). With them, LongestChain/HeaviestChain select in O(#leaves)
-// and materialize only the winning chain.
+// alongside the subtreeWeight cache for GHOST, which is built lazily on
+// first query and then maintained incrementally (O(depth) per Attach),
+// so attach-heavy runs under the other selectors never pay for it. With
+// them, LongestChain/HeaviestChain select in O(#leaves) and materialize
+// only the winning chain.
 //
 // Tree is not safe for concurrent use; each simulated process owns its
 // replica (internal/replica), and shared-memory experiments wrap it.
@@ -39,8 +41,14 @@ type Tree struct {
 	children map[BlockID][]BlockID
 	root     *Block
 	// subtreeWeight caches, per block, the total weight of the subtree
-	// rooted there; maintained incrementally on Attach for GHOST.
+	// rooted there, for GHOST. It is maintained lazily: the map is
+	// built in one bottom-up pass on the first SubtreeWeight query and
+	// kept incremental (O(depth) back-propagation per Attach) from
+	// then on, so selectors that never consult it — longest, heaviest,
+	// single — pay nothing for it on the attach hot path.
 	subtreeWeight map[BlockID]int
+	// ghostActive records whether subtreeWeight is being maintained.
+	ghostActive bool
 	// leaves is the maintained leaf set: blocks with no children.
 	leaves map[BlockID]struct{}
 	// maxHeight caches the maximum block height in the tree.
@@ -54,12 +62,11 @@ type Tree struct {
 func NewTree() *Tree {
 	g := Genesis()
 	t := &Tree{
-		blocks:        map[BlockID]*Block{g.ID: g},
-		children:      make(map[BlockID][]BlockID),
-		root:          g,
-		subtreeWeight: map[BlockID]int{g.ID: g.Weight},
-		leaves:        map[BlockID]struct{}{g.ID: {}},
-		chainWeight:   map[BlockID]int{g.ID: 0},
+		blocks:      map[BlockID]*Block{g.ID: g},
+		children:    make(map[BlockID][]BlockID),
+		root:        g,
+		leaves:      map[BlockID]struct{}{g.ID: {}},
+		chainWeight: map[BlockID]int{g.ID: 0},
 	}
 	return t
 }
@@ -105,23 +112,27 @@ func (t *Tree) Attach(b *Block) error {
 		return fmt.Errorf("core: block %s height %d, want %d", b.ID.Short(), b.Height, parent.Height+1)
 	}
 	t.blocks[b.ID] = b
-	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
 	// Keep sibling order deterministic regardless of arrival order so
-	// that tie-breaking selectors are reproducible.
-	sort.Slice(t.children[b.Parent], func(i, j int) bool {
-		return t.children[b.Parent][i] < t.children[b.Parent][j]
-	})
+	// that tie-breaking selectors are reproducible: insert in place
+	// (sibling lists are short; no per-attach sort or closure).
+	kids := append(t.children[b.Parent], b.ID)
+	for i := len(kids) - 1; i > 0 && kids[i-1] > b.ID; i-- {
+		kids[i], kids[i-1] = kids[i-1], kids[i]
+	}
+	t.children[b.Parent] = kids
 	delete(t.leaves, b.Parent)
 	t.leaves[b.ID] = struct{}{}
 	if b.Height > t.maxHeight {
 		t.maxHeight = b.Height
 	}
 	t.chainWeight[b.ID] = t.chainWeight[b.Parent] + b.Weight
-	t.subtreeWeight[b.ID] = b.Weight
-	for p := b.Parent; p != ""; {
-		t.subtreeWeight[p] += b.Weight
-		pb := t.blocks[p]
-		p = pb.Parent
+	if t.ghostActive {
+		t.subtreeWeight[b.ID] = b.Weight
+		for p := b.Parent; p != ""; {
+			t.subtreeWeight[p] += b.Weight
+			pb := t.blocks[p]
+			p = pb.Parent
+		}
 	}
 	return nil
 }
@@ -148,8 +159,33 @@ func (t *Tree) MaxForkDegree() int {
 }
 
 // SubtreeWeight returns the total weight of the subtree rooted at id
-// (the block's own weight included). Used by the GHOST selector.
-func (t *Tree) SubtreeWeight(id BlockID) int { return t.subtreeWeight[id] }
+// (the block's own weight included). Used by the GHOST selector. The
+// first query builds the whole index in one O(n log n) bottom-up pass
+// and activates incremental maintenance.
+func (t *Tree) SubtreeWeight(id BlockID) int {
+	if !t.ghostActive {
+		t.buildSubtreeWeights()
+	}
+	return t.subtreeWeight[id]
+}
+
+// buildSubtreeWeights computes every subtree weight bottom-up (blocks
+// in descending height order fold into their parents).
+func (t *Tree) buildSubtreeWeights() {
+	t.subtreeWeight = make(map[BlockID]int, len(t.blocks))
+	blocks := make([]*Block, 0, len(t.blocks))
+	for _, b := range t.blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Height > blocks[j].Height })
+	for _, b := range blocks {
+		t.subtreeWeight[b.ID] += b.Weight
+		if !b.IsGenesis() {
+			t.subtreeWeight[b.Parent] += t.subtreeWeight[b.ID]
+		}
+	}
+	t.ghostActive = true
+}
 
 // ChainWeight returns the cumulative weight of the chain from genesis to
 // id, genesis excluded — exactly WeightScore{}.Of(t.ChainTo(id)) without
@@ -210,13 +246,13 @@ func (t *Tree) Blocks() []*Block {
 // (block pointers are shared; blocks are immutable).
 func (t *Tree) Clone() *Tree {
 	nt := &Tree{
-		blocks:        make(map[BlockID]*Block, len(t.blocks)),
-		children:      make(map[BlockID][]BlockID, len(t.children)),
-		root:          t.root,
-		subtreeWeight: make(map[BlockID]int, len(t.subtreeWeight)),
-		leaves:        make(map[BlockID]struct{}, len(t.leaves)),
-		maxHeight:     t.maxHeight,
-		chainWeight:   make(map[BlockID]int, len(t.chainWeight)),
+		blocks:      make(map[BlockID]*Block, len(t.blocks)),
+		children:    make(map[BlockID][]BlockID, len(t.children)),
+		root:        t.root,
+		leaves:      make(map[BlockID]struct{}, len(t.leaves)),
+		maxHeight:   t.maxHeight,
+		chainWeight: make(map[BlockID]int, len(t.chainWeight)),
+		ghostActive: t.ghostActive,
 	}
 	for id, b := range t.blocks {
 		nt.blocks[id] = b
@@ -226,8 +262,11 @@ func (t *Tree) Clone() *Tree {
 		copy(cp, ch)
 		nt.children[id] = cp
 	}
-	for id, w := range t.subtreeWeight {
-		nt.subtreeWeight[id] = w
+	if t.ghostActive {
+		nt.subtreeWeight = make(map[BlockID]int, len(t.subtreeWeight))
+		for id, w := range t.subtreeWeight {
+			nt.subtreeWeight[id] = w
+		}
 	}
 	for id := range t.leaves {
 		nt.leaves[id] = struct{}{}

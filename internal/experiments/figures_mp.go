@@ -144,7 +144,7 @@ func Theorem48(seed uint64) *Result {
 	chk := consistency.NewChecker(core.LengthScore{}, nil)
 	sp := chk.StrongPrefix(h)
 	lrc := consistency.LRC(h)
-	res.addf("reads at t < t0+δ: p0=%s, p1=%s", h.Reads()[0].Chain, h.Reads()[1].Chain)
+	res.addf("reads at t < t0+δ: p0=%s, p1=%s", h.Reads()[0].Chain(), h.Reads()[1].Chain())
 	res.addf("%s", sp)
 	res.addf("%s (the channel abstraction is not at fault)", lrc)
 	if sp.OK {

@@ -9,6 +9,13 @@
 // index is a linearization of real time (virtual simulation time or a
 // shared atomic counter for true shared-memory runs), so e ≺ e′ holds
 // iff the response index of e precedes the invocation index of e′.
+//
+// Read results are interned: in a tree, the chain a read returns is
+// determined by its head block, so a read records only a compact
+// (head, length) handle against a shared ChainTable instead of copying
+// an O(height) slice per read. Op.Chain() materializes lazily — and
+// memoized per head — when a checker or renderer actually needs the
+// blocks.
 package history
 
 import (
@@ -17,6 +24,67 @@ import (
 
 	"repro/internal/core"
 )
+
+// ChainTable interns the blocks of a run and memoizes materialized
+// chains by head block. It is shared by all replicas recording into one
+// Recorder; because blocks are immutable and block IDs are content
+// hashes, the chain from genesis to a given head is unique, so one
+// table serves every replica's reads.
+type ChainTable struct {
+	mu     sync.Mutex
+	blocks map[core.BlockID]*core.Block
+	chains map[core.BlockID]core.Chain
+}
+
+// NewChainTable returns a table holding only the genesis block.
+func NewChainTable() *ChainTable {
+	g := core.Genesis()
+	return &ChainTable{
+		blocks: map[core.BlockID]*core.Block{g.ID: g},
+		chains: map[core.BlockID]core.Chain{g.ID: {g}},
+	}
+}
+
+// Intern registers a block (first writer wins; blocks are immutable and
+// content-addressed, so later copies are identical).
+func (t *ChainTable) Intern(b *core.Block) {
+	if b == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.blocks[b.ID]; !ok {
+		t.blocks[b.ID] = b
+	}
+	t.mu.Unlock()
+}
+
+// ChainTo materializes the chain from genesis to head, memoized per
+// head. It returns nil if head or one of its ancestors was never
+// interned.
+func (t *ChainTable) ChainTo(head core.BlockID) core.Chain {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.chains[head]; ok {
+		return c
+	}
+	b, ok := t.blocks[head]
+	if !ok {
+		return nil
+	}
+	out := make(core.Chain, b.Height+1)
+	for i := b.Height; ; i-- {
+		out[i] = b
+		if b.IsGenesis() {
+			break
+		}
+		b, ok = t.blocks[b.Parent]
+		if !ok || b.Height != i-1 {
+			return nil
+		}
+	}
+	t.chains[head] = out
+	return out
+}
 
 // OpKind distinguishes the two BT-ADT operations.
 type OpKind uint8
@@ -47,14 +115,38 @@ type Op struct {
 	Block *core.Block
 	// OK is the boolean response of append().
 	OK bool
-	// Chain is the blockchain returned by read().
-	Chain core.Chain
+
+	// Head and ChainLen are the interned result of read(): the head
+	// block's ID and the chain length including genesis. The full chain
+	// is available via Chain().
+	Head     core.BlockID
+	ChainLen int
+
+	// chain is the materialized read result: set eagerly when the read
+	// was recorded with an explicit chain, lazily from src otherwise.
+	chain core.Chain
+	src   *ChainTable
 
 	InvIndex, RspIndex int
 	InvTime, RspTime   int64
 	// Pending marks an operation whose response has not been recorded
 	// (the process crashed or the run was truncated).
 	Pending bool
+}
+
+// Chain returns the blockchain returned by read(), materializing from
+// the chain table (memoized there, shared per head) when the read was
+// recorded as an interned handle. It must not be called concurrently
+// with recording; after recording has stopped it is safe for concurrent
+// use (the op itself is never written, and the table is locked).
+func (o *Op) Chain() core.Chain {
+	if o.chain != nil {
+		return o.chain
+	}
+	if o.src != nil {
+		return o.src.ChainTo(o.Head)
+	}
+	return nil
 }
 
 // Before reports the program order ր: op ր other iff op's response event
@@ -81,7 +173,7 @@ func (o *Op) String() string {
 		if o.Pending {
 			return fmt.Sprintf("p%d.read()… [%d,-]", o.Proc, o.InvIndex)
 		}
-		return fmt.Sprintf("p%d.read()/%s [%d,%d]", o.Proc, o.Chain, o.InvIndex, o.RspIndex)
+		return fmt.Sprintf("p%d.read()/%s [%d,%d]", o.Proc, o.Chain(), o.InvIndex, o.RspIndex)
 	default:
 		if o.Pending {
 			return fmt.Sprintf("p%d.append(%s)… [%d,-]", o.Proc, o.Block.ID.Short(), o.InvIndex)
@@ -130,6 +222,12 @@ func (e CommEvent) String() string {
 
 // History is a finite recorded prefix of a concurrent history. It is
 // immutable once built; use Recorder to construct one.
+//
+// The operation accessors (Reads, Appends, SuccessfulAppends,
+// AppendedBlocks, ByProcess) are memoized on first use — checkers call
+// them repeatedly — so the returned slices and maps are shared: callers
+// must treat them as read-only, and must not call them before recording
+// has stopped (the same contract the checkers already have).
 type History struct {
 	Ops  []*Op
 	Comm []CommEvent
@@ -139,6 +237,45 @@ type History struct {
 	// Consistency criteria quantify over correct processes only
 	// (Definition 4.2). A nil slice means all processes are correct.
 	Correct []bool
+
+	memoOnce sync.Once
+	memo     struct {
+		reads      []*Op
+		appends    []*Op
+		successful []*Op
+		appended   map[core.BlockID]*Op
+		byProc     [][]*Op
+	}
+}
+
+// index builds every memoized view in one pass over Ops.
+func (h *History) index() {
+	h.memoOnce.Do(func() {
+		h.memo.appended = make(map[core.BlockID]*Op)
+		h.memo.byProc = make([][]*Op, h.Procs)
+		for _, op := range h.Ops {
+			if op.Pending {
+				continue
+			}
+			if op.Proc >= 0 && op.Proc < h.Procs {
+				h.memo.byProc[op.Proc] = append(h.memo.byProc[op.Proc], op)
+			}
+			switch op.Kind {
+			case OpRead:
+				if h.IsCorrect(op.Proc) {
+					h.memo.reads = append(h.memo.reads, op)
+				}
+			case OpAppend:
+				h.memo.appends = append(h.memo.appends, op)
+				if op.OK {
+					h.memo.successful = append(h.memo.successful, op)
+					if op.Block != nil {
+						h.memo.appended[op.Block.ID] = op
+					}
+				}
+			}
+		}
+	})
 }
 
 // IsCorrect reports whether process p is correct in this history.
@@ -150,64 +287,44 @@ func (h *History) IsCorrect(p int) bool {
 }
 
 // Reads returns the completed read operations of correct processes, in
-// response order.
+// recording order. The slice is memoized and shared — read-only.
 func (h *History) Reads() []*Op {
-	var out []*Op
-	for _, op := range h.Ops {
-		if op.Kind == OpRead && !op.Pending && h.IsCorrect(op.Proc) {
-			out = append(out, op)
-		}
-	}
-	return out
+	h.index()
+	return h.memo.reads
 }
 
 // Appends returns the completed append operations (of all processes —
 // Block Validity must hold for any appended block a correct process
-// reads), in response order.
+// reads), in recording order. The slice is memoized and shared.
 func (h *History) Appends() []*Op {
-	var out []*Op
-	for _, op := range h.Ops {
-		if op.Kind == OpAppend && !op.Pending {
-			out = append(out, op)
-		}
-	}
-	return out
+	h.index()
+	return h.memo.appends
 }
 
 // SuccessfulAppends returns appends whose response was true. The
 // hierarchy theorems (3.3, 3.4) compare histories "purged of the
-// unsuccessful append() response events".
+// unsuccessful append() response events". The slice is memoized and
+// shared.
 func (h *History) SuccessfulAppends() []*Op {
-	var out []*Op
-	for _, op := range h.Appends() {
-		if op.OK {
-			out = append(out, op)
-		}
-	}
-	return out
+	h.index()
+	return h.memo.successful
 }
 
 // AppendedBlocks returns the set of block IDs successfully appended.
+// The map is memoized and shared — read-only.
 func (h *History) AppendedBlocks() map[core.BlockID]*Op {
-	out := make(map[core.BlockID]*Op)
-	for _, op := range h.SuccessfulAppends() {
-		if op.Block != nil {
-			out[op.Block.ID] = op
-		}
-	}
-	return out
+	h.index()
+	return h.memo.appended
 }
 
 // ByProcess returns the completed operations of process p in program
-// order.
+// order. The slice is memoized and shared — read-only.
 func (h *History) ByProcess(p int) []*Op {
-	var out []*Op
-	for _, op := range h.Ops {
-		if op.Proc == p && !op.Pending {
-			out = append(out, op)
-		}
+	if p < 0 || p >= h.Procs {
+		return nil
 	}
-	return out
+	h.index()
+	return h.memo.byProc[p]
 }
 
 // CommOf returns the communication events of the given kind, in index
@@ -252,6 +369,7 @@ type Recorder struct {
 	procs  int
 	faulty map[int]bool
 	clock  func() int64
+	table  *ChainTable
 }
 
 // NewRecorder creates a recorder for procs processes. clock supplies
@@ -261,8 +379,15 @@ func NewRecorder(procs int, clock func() int64) *Recorder {
 	if clock == nil {
 		clock = func() int64 { return 0 }
 	}
-	return &Recorder{procs: procs, faulty: make(map[int]bool), clock: clock}
+	return &Recorder{procs: procs, faulty: make(map[int]bool), clock: clock, table: NewChainTable()}
 }
+
+// Table returns the recorder's shared chain table. Replicas intern
+// every block they attach, so interned reads can always materialize.
+func (r *Recorder) Table() *ChainTable { return r.table }
+
+// InternBlock registers a block in the shared chain table.
+func (r *Recorder) InternBlock(b *core.Block) { r.table.Intern(b) }
 
 // MarkFaulty declares process p Byzantine/crashed; its reads are excluded
 // from criteria checks per Definition 4.2.
@@ -284,12 +409,34 @@ func (r *Recorder) InvokeRead(p int) *Op {
 	return op
 }
 
-// RespondRead records the response event of a pending read with the
-// returned blockchain.
+// RespondRead records the response event of a pending read with an
+// explicitly materialized blockchain (sequential generators and tests;
+// the simulator hot path uses RespondReadHead).
 func (r *Recorder) RespondRead(op *Op, c core.Chain) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op.Chain = c
+	op.chain = c
+	if head := c.Head(); head != nil {
+		op.Head = head.ID
+		op.ChainLen = len(c)
+	}
+	op.RspIndex = r.seq
+	op.RspTime = r.clock()
+	op.Pending = false
+	r.seq++
+}
+
+// RespondReadHead records the response event of a pending read as an
+// interned (head, length) handle — O(1), no chain copy. The head block
+// and its ancestors must be interned in the recorder's table (replicas
+// intern on attach), so Op.Chain() can materialize on demand.
+func (r *Recorder) RespondReadHead(op *Op, head *core.Block) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table.Intern(head)
+	op.Head = head.ID
+	op.ChainLen = head.Height + 1
+	op.src = r.table
 	op.RspIndex = r.seq
 	op.RspTime = r.clock()
 	op.Pending = false
@@ -328,6 +475,13 @@ func (r *Recorder) RespondAppend(op *Op, ok bool, final *core.Block) {
 func (r *Recorder) Read(p int, c core.Chain) *Op {
 	op := r.InvokeRead(p)
 	r.RespondRead(op, c)
+	return op
+}
+
+// ReadHead records a complete read as an interned handle.
+func (r *Recorder) ReadHead(p int, head *core.Block) *Op {
+	op := r.InvokeRead(p)
+	r.RespondReadHead(op, head)
 	return op
 }
 

@@ -1,0 +1,121 @@
+package replica
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/simnet"
+)
+
+// TestPendingBufferDedup pins the orphan-buffer deduplication: flood
+// re-deliveries of a block whose parent has not arrived must buffer it
+// once, not once per delivery.
+func TestPendingBufferDedup(t *testing.T) {
+	sim := simnet.NewSim(3)
+	g := NewGroup(sim, 2, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	p := g.Procs[1]
+
+	b1 := core.NewBlock(core.GenesisID, 1, 0, 1, []byte{1})
+	b2 := core.NewBlock(b1.ID, 2, 0, 2, []byte{2})
+
+	// Five re-deliveries of the orphan b2 (parent b1 missing).
+	for i := 0; i < 5; i++ {
+		p.applyUpdate(b2, false)
+	}
+	if got := p.PendingCount(); got != 1 {
+		t.Fatalf("orphan buffered %d times, want 1", got)
+	}
+	// Parent arrives: the orphan flushes exactly once.
+	if !p.applyUpdate(b1, false) {
+		t.Fatal("parent attach failed")
+	}
+	if p.PendingCount() != 0 {
+		t.Fatalf("pending not drained: %d", p.PendingCount())
+	}
+	if p.Tree().Len() != 3 {
+		t.Fatalf("tree has %d blocks, want 3", p.Tree().Len())
+	}
+	// Exactly one update event per block at this process.
+	updates := 0
+	for _, e := range g.Rec.Snapshot().Comm {
+		if e.Kind == history.EvUpdate && e.Proc == 1 {
+			updates++
+		}
+	}
+	if updates != 2 {
+		t.Fatalf("recorded %d update events, want 2", updates)
+	}
+}
+
+// TestDeepChainIterativeFlush delivers a 30000-deep chain segment in
+// reverse (every block before its parent): the entire segment buffers as
+// orphans and must flush iteratively when the first block arrives — the
+// recursive flush this replaces consumed a stack frame per block.
+func TestDeepChainIterativeFlush(t *testing.T) {
+	const depth = 30000
+	sim := simnet.NewSim(7)
+	g := NewGroup(sim, 1, nil, core.LongestChain{})
+	p := g.Procs[0]
+
+	chain := make([]*core.Block, depth)
+	parent := core.Genesis()
+	for i := range chain {
+		chain[i] = core.NewBlock(parent.ID, parent.Height+1, 0, i, nil)
+		parent = chain[i]
+	}
+	// Reverse delivery: everything orphans.
+	for i := depth - 1; i > 0; i-- {
+		p.applyUpdate(chain[i], false)
+	}
+	if got := p.PendingCount(); got != depth-1 {
+		t.Fatalf("buffered %d orphans, want %d", got, depth-1)
+	}
+	// The missing root block arrives: the whole segment flushes.
+	if !p.applyUpdate(chain[0], false) {
+		t.Fatal("root attach failed")
+	}
+	if p.PendingCount() != 0 {
+		t.Fatalf("pending not drained: %d", p.PendingCount())
+	}
+	if got := p.Tree().Height(); got != depth {
+		t.Fatalf("tree height %d, want %d", got, depth)
+	}
+}
+
+// TestFlushPreservesDepthFirstOrder pins the flush order of the
+// iterative worklist against the old recursion: a child's own buffered
+// descendants flush before the child's next sibling.
+func TestFlushPreservesDepthFirstOrder(t *testing.T) {
+	sim := simnet.NewSim(11)
+	g := NewGroup(sim, 1, nil, core.LongestChain{})
+	p := g.Procs[0]
+
+	root := core.NewBlock(core.GenesisID, 1, 0, 1, []byte{1})
+	c1 := core.NewBlock(root.ID, 2, 0, 2, []byte{2})
+	c2 := core.NewBlock(root.ID, 2, 0, 3, []byte{3})
+	gc1 := core.NewBlock(c1.ID, 3, 0, 4, []byte{4})
+	gc2 := core.NewBlock(c2.ID, 3, 0, 5, []byte{5})
+
+	// Buffer in sibling order c1, c2, then their children.
+	for _, b := range []*core.Block{c1, c2, gc1, gc2} {
+		p.applyUpdate(b, false)
+	}
+	p.applyUpdate(root, false)
+
+	var order []core.BlockID
+	for _, e := range g.Rec.Snapshot().Comm {
+		if e.Kind == history.EvUpdate {
+			order = append(order, e.Block)
+		}
+	}
+	want := []core.BlockID{root.ID, c1.ID, gc1.ID, c2.ID, gc2.ID}
+	if len(order) != len(want) {
+		t.Fatalf("recorded %d updates, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("update order[%d] = %s, want %s (depth-first)", i, order[i].Short(), want[i].Short())
+		}
+	}
+}

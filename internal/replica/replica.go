@@ -79,6 +79,9 @@ type Process struct {
 	// pending buffers blocks whose parent has not arrived yet
 	// (out-of-order delivery); keyed by the missing parent.
 	pending map[core.BlockID][]*core.Block
+	// pendingHas marks the buffered block IDs, so flood re-deliveries
+	// of an orphan cannot inflate the buffer with duplicates.
+	pendingHas map[core.BlockID]bool
 	// seen deduplicates update messages (flooding re-delivers).
 	seen map[core.BlockID]bool
 
@@ -95,15 +98,16 @@ func NewProcess(id int, nw *simnet.Network, f core.Selector, rec *history.Record
 		f = core.LongestChain{}
 	}
 	p := &Process{
-		ID:      id,
-		F:       f,
-		Rec:     rec,
-		Reg:     reg,
-		P:       core.AlwaysValid{},
-		nw:      nw,
-		tree:    core.NewTree(),
-		pending: make(map[core.BlockID][]*core.Block),
-		seen:    make(map[core.BlockID]bool),
+		ID:         id,
+		F:          f,
+		Rec:        rec,
+		Reg:        reg,
+		P:          core.AlwaysValid{},
+		nw:         nw,
+		tree:       core.NewTree(),
+		pending:    make(map[core.BlockID][]*core.Block),
+		pendingHas: make(map[core.BlockID]bool),
+		seen:       make(map[core.BlockID]bool),
 	}
 	nw.AddHandler(id, p.onMessage)
 	return p
@@ -114,12 +118,15 @@ func NewProcess(id int, nw *simnet.Network, f core.Selector, rec *history.Record
 func (p *Process) Tree() *core.Tree { return p.tree }
 
 // Read performs the BT-ADT read() on the local replica, recording the
-// operation.
-func (p *Process) Read() core.Chain {
+// operation as an interned (head, length) handle: the selector's
+// head-only fast path picks the head and no O(height) chain is copied.
+// The recorded op materializes its chain lazily (op.Chain()) from the
+// recorder's shared chain table when a checker or renderer asks.
+func (p *Process) Read() *history.Op {
 	op := p.Rec.InvokeRead(p.ID)
-	c := p.F.Select(p.tree)
-	p.Rec.RespondRead(op, c)
-	return c
+	head := core.HeadOf(p.F, p.tree)
+	p.Rec.RespondReadHead(op, head)
+	return op
 }
 
 // SelectedHead returns the head of f(bt_i) without recording a read —
@@ -155,42 +162,92 @@ func (p *Process) DeliverCommitted(b *core.Block) bool {
 }
 
 // applyUpdate inserts b into the local replica, recording the update
-// event; local marks whether this is the creator's own update (R1 path)
+// event, then flushes any buffered descendants that were waiting for
+// it; local marks whether this is the creator's own update (R1 path)
 // or a remote one (R2 path requires a prior receive, recorded by
 // onMessage).
 func (p *Process) applyUpdate(b *core.Block, local bool) bool {
 	_ = local
+	if !p.applyOne(b) {
+		return false
+	}
+	// Iterative depth-first flush of the buffered orphans: the old
+	// recursive flush could exhaust the stack when a deep chain
+	// segment arrived parent-last. Explicit frames preserve the
+	// recursion's exact event order (a child's own descendants flush
+	// before its next sibling).
+	type frame struct {
+		kids []*core.Block
+		i    int
+	}
+	stack := []frame{{kids: p.takePending(b.ID)}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i >= len(f.kids) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		child := f.kids[f.i]
+		f.i++
+		if p.applyOne(child) {
+			stack = append(stack, frame{kids: p.takePending(child.ID)})
+		}
+	}
+	return true
+}
+
+// applyOne validates and attaches a single block, recording the update
+// event. It reports whether the block was newly attached; blocks whose
+// parent is missing are buffered (deduplicated) for the flush above.
+func (p *Process) applyOne(b *core.Block) bool {
 	if p.seen[b.ID] {
 		return false
 	}
 	// Token stamps are oracle metadata, not block content: strip
-	// before applying a content predicate such as WellFormed.
-	nb := *b
-	nb.Token = ""
-	if !p.P.Valid(&nb) {
+	// before applying a content predicate such as WellFormed (tokenless
+	// blocks — the flood hot path — validate in place, no copy).
+	vb := b
+	if b.Token != "" {
+		nb := *b
+		nb.Token = ""
+		vb = &nb
+	}
+	if !p.P.Valid(vb) {
 		p.rejected++
 		return false
 	}
 	if !p.tree.Has(b.Parent) {
-		// Parent not yet delivered: buffer; the update event will
-		// be recorded when the parent arrives.
-		p.pending[b.Parent] = append(p.pending[b.Parent], b)
+		// Parent not yet delivered: buffer once; the update event
+		// will be recorded when the parent arrives.
+		if !p.pendingHas[b.ID] {
+			p.pendingHas[b.ID] = true
+			p.pending[b.Parent] = append(p.pending[b.Parent], b)
+		}
 		return false
 	}
 	if err := p.tree.Attach(b); err != nil {
 		return false
 	}
 	p.seen[b.ID] = true
+	p.Rec.InternBlock(b)
 	p.Rec.RecordComm(history.EvUpdate, p.ID, b.Parent, b.ID)
 	if p.OnCommit != nil {
 		p.OnCommit(b)
 	}
-	// Flush any children that were waiting for b.
-	for _, child := range p.pending[b.ID] {
-		p.applyUpdate(child, false)
-	}
-	delete(p.pending, b.ID)
 	return true
+}
+
+// takePending removes and returns the blocks buffered under parent id.
+func (p *Process) takePending(id core.BlockID) []*core.Block {
+	kids := p.pending[id]
+	if len(kids) == 0 {
+		return nil
+	}
+	delete(p.pending, id)
+	for _, k := range kids {
+		delete(p.pendingHas, k.ID)
+	}
+	return kids
 }
 
 // onMessage handles network delivery: record receive_j(b_g, b_i), then

@@ -105,14 +105,14 @@ func TestReadRecordsOperation(t *testing.T) {
 	b := mkBlock(core.Genesis(), 0, 1)
 	sim.Schedule(1, func() { g.Procs[0].AppendLocal(b) })
 	sim.Schedule(50, func() {
-		c := g.Procs[1].Read()
-		if c.Height() != 1 {
-			t.Errorf("read height %d", c.Height())
+		op := g.Procs[1].Read()
+		if op.ChainLen != 2 {
+			t.Errorf("read recorded chain length %d", op.ChainLen)
 		}
 	})
 	sim.RunUntilIdle()
 	reads := g.History().Reads()
-	if len(reads) != 1 || reads[0].Proc != 1 || reads[0].Chain.Height() != 1 {
+	if len(reads) != 1 || reads[0].Proc != 1 || reads[0].Chain().Height() != 1 {
 		t.Fatalf("read op wrong: %v", reads)
 	}
 }

@@ -141,12 +141,18 @@ func (nw *Network) Send(from, to int, payload any) {
 		}
 		nw.lastOut[link] = at
 	}
-	nw.sim.Schedule(d, func() {
-		nw.delivered++
-		for _, h := range nw.handlers[to] {
-			h(m)
-		}
-	})
+	// Flat delivery event: the message rides in the heap entry itself,
+	// so the hot send path performs no closure or node allocation.
+	nw.sim.schedule(d, event{kind: evDeliver, nw: nw, msg: m})
+}
+
+// deliver runs the delivery of m at its destination (called by the
+// scheduler when the corresponding event fires).
+func (nw *Network) deliver(m Message) {
+	nw.delivered++
+	for _, h := range nw.handlers[m.To] {
+		h(m)
+	}
 }
 
 // Broadcast sends payload from from to every process, itself included

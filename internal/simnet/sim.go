@@ -13,37 +13,45 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/tape"
 )
 
-// event is one scheduled callback.
+// eventKind tags the payload of a scheduled event.
+type eventKind uint8
+
+const (
+	// evTimer runs an arbitrary callback (harness scheduling).
+	evTimer eventKind = iota
+	// evDeliver delivers a message on a network (the hot path): the
+	// payload is carried inline so Send/Broadcast allocate nothing.
+	evDeliver
+)
+
+// event is one scheduled occurrence, stored by value in the heap. The
+// payload is a tagged union: a timer callback or a message delivery.
+// Keeping events flat (no per-event heap node, no delivery closure)
+// is what makes the scheduler allocation-free on the message path —
+// the pre-rewrite scheduler allocated a heap node plus a capturing
+// closure per message (DESIGN.md ablation #6).
 type event struct {
 	time int64
 	seq  int64 // tiebreaker: FIFO among same-time events
-	fn   func()
+	kind eventKind
+	fn   func()   // evTimer payload
+	nw   *Network // evDeliver payload
+	msg  Message  // evDeliver payload
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// before is the scheduling order: virtual time, then submission order.
+// (time, seq) is a total order — seq is unique — so the execution
+// sequence is independent of heap internals.
+func (e *event) before(o *event) bool {
+	if e.time != o.time {
+		return e.time < o.time
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Sim is the discrete-event scheduler. It is single-threaded: callbacks
@@ -52,7 +60,7 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	now     int64
 	seq     int64
-	pq      eventHeap
+	pq      []event // binary min-heap ordered by (time, seq)
 	rng     *tape.RNG
 	stepped int
 }
@@ -71,14 +79,62 @@ func (s *Sim) RNG() *tape.RNG { return s.rng }
 // Steps returns how many events have been executed.
 func (s *Sim) Steps() int { return s.stepped }
 
-// Schedule runs fn after delay virtual time units (delay 0 runs at the
-// current time, after already-queued same-time events).
-func (s *Sim) Schedule(delay int64, fn func()) {
+// push inserts e into the heap (manual sift-up: no interface boxing,
+// no per-event allocation beyond amortized slice growth).
+func (s *Sim) push(e event) {
+	s.pq = append(s.pq, e)
+	i := len(s.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.pq[i].before(&s.pq[parent]) {
+			break
+		}
+		s.pq[i], s.pq[parent] = s.pq[parent], s.pq[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (s *Sim) pop() event {
+	top := s.pq[0]
+	n := len(s.pq) - 1
+	s.pq[0] = s.pq[n]
+	s.pq[n] = event{} // release fn/nw/payload references
+	s.pq = s.pq[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		min := l
+		if r < n && s.pq[r].before(&s.pq[l]) {
+			min = r
+		}
+		if !s.pq[min].before(&s.pq[i]) {
+			break
+		}
+		s.pq[i], s.pq[min] = s.pq[min], s.pq[i]
+		i = min
+	}
+	return top
+}
+
+// schedule enqueues e after delay virtual-time units.
+func (s *Sim) schedule(delay int64, e event) {
 	if delay < 0 {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.pq, &event{time: s.now + delay, seq: s.seq, fn: fn})
+	e.time = s.now + delay
+	e.seq = s.seq
+	s.push(e)
+}
+
+// Schedule runs fn after delay virtual time units (delay 0 runs at the
+// current time, after already-queued same-time events).
+func (s *Sim) Schedule(delay int64, fn func()) {
+	s.schedule(delay, event{kind: evTimer, fn: fn})
 }
 
 // At schedules fn at absolute virtual time t (clamped to now).
@@ -87,15 +143,24 @@ func (s *Sim) At(t int64, fn func()) {
 	s.Schedule(d, fn)
 }
 
+// step pops and executes the earliest event.
+func (s *Sim) step() {
+	e := s.pop()
+	s.now = e.time
+	if e.kind == evDeliver {
+		e.nw.deliver(e.msg)
+	} else {
+		e.fn()
+	}
+	s.stepped++
+}
+
 // Run executes events until the queue empties or the next event is later
 // than until. It returns the number of events executed.
 func (s *Sim) Run(until int64) int {
 	n := 0
 	for len(s.pq) > 0 && s.pq[0].time <= until {
-		e := heap.Pop(&s.pq).(*event)
-		s.now = e.time
-		e.fn()
-		s.stepped++
+		s.step()
 		n++
 	}
 	if s.now < until {
@@ -109,10 +174,7 @@ func (s *Sim) Run(until int64) int {
 func (s *Sim) RunUntilIdle() int {
 	n := 0
 	for len(s.pq) > 0 {
-		e := heap.Pop(&s.pq).(*event)
-		s.now = e.time
-		e.fn()
-		s.stepped++
+		s.step()
 		n++
 	}
 	return n

@@ -1,0 +1,355 @@
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+
+	"repro/internal/tape"
+)
+
+// This file preserves the pre-rewrite scheduler — a container/heap of
+// per-event pointer nodes whose deliveries were capturing closures — and
+// pins the flat value-type event heap against it: for identical schedule
+// programs and seeds, the execution order must be byte-identical
+// (DESIGN.md ablation #6 measures the cost gap between the two).
+
+// legacyEvent is the old per-event heap node.
+type legacyEvent struct {
+	time int64
+	seq  int64
+	fn   func()
+}
+
+type legacyHeap []*legacyEvent
+
+func (h legacyHeap) Len() int { return len(h) }
+func (h legacyHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h legacyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *legacyHeap) Push(x any)   { *h = append(*h, x.(*legacyEvent)) }
+func (h *legacyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// legacySim is the old closure-based scheduler, verbatim.
+type legacySim struct {
+	now int64
+	seq int64
+	pq  legacyHeap
+	rng *tape.RNG
+}
+
+func newLegacySim(seed uint64) *legacySim { return &legacySim{rng: tape.NewRNG(seed)} }
+
+func (s *legacySim) schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.pq, &legacyEvent{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+func (s *legacySim) runUntilIdle() {
+	for len(s.pq) > 0 {
+		e := heap.Pop(&s.pq).(*legacyEvent)
+		s.now = e.time
+		e.fn()
+	}
+}
+
+// legacyNet replays the old Network.Send logic (delivery as a capturing
+// closure) over the legacy scheduler, drawing delays from an identical
+// RNG stream.
+type legacyNet struct {
+	sim   *legacySim
+	n     int
+	delay DelayModel
+	drop  DropRule
+	fifo  bool
+	last  map[[2]int]int64
+	trace *[]string
+}
+
+func (nw *legacyNet) send(from, to int, payload any) {
+	m := Message{From: from, To: to, Payload: payload}
+	if from != to && nw.drop(m) {
+		return
+	}
+	var d int64
+	if from != to {
+		d = nw.delay.Delay(nw.sim.rng, nw.sim.now, from, to)
+	}
+	if nw.fifo && from != to {
+		link := [2]int{from, to}
+		at := nw.sim.now + d
+		if prev := nw.last[link]; at <= prev {
+			at = prev + 1
+			d = at - nw.sim.now
+		}
+		nw.last[link] = at
+	}
+	nw.sim.schedule(d, func() {
+		*nw.trace = append(*nw.trace, fmt.Sprintf("t=%d %d→%d %v", nw.sim.now, m.From, m.To, m.Payload))
+	})
+}
+
+// schedProgram describes one deterministic message workload: a mix of
+// point-to-point sends and broadcasts at varying submission times.
+type schedStep struct {
+	at       int64
+	from, to int // to < 0 means broadcast
+	payload  int
+}
+
+func buildProgram(seed uint64, n, steps int) []schedStep {
+	rng := tape.NewRNG(seed ^ 0x5eed)
+	out := make([]schedStep, steps)
+	for i := range out {
+		st := schedStep{at: int64(rng.Intn(40)), from: rng.Intn(n), payload: i}
+		if rng.Intn(4) == 0 {
+			st.to = -1
+		} else {
+			st.to = rng.Intn(n)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// runNew drives the production Sim/Network with the program and returns
+// the delivery trace.
+func runNew(seed uint64, n int, prog []schedStep, fifo bool, mkDrop func() DropRule, model DelayModel) []string {
+	var trace []string
+	s := NewSim(seed)
+	nw := NewNetwork(s, n, model)
+	if fifo {
+		nw.SetFIFO(true)
+	}
+	if mkDrop != nil {
+		nw.SetDrop(mkDrop())
+	}
+	for p := 0; p < n; p++ {
+		nw.AddHandler(p, func(m Message) {
+			trace = append(trace, fmt.Sprintf("t=%d %d→%d %v", s.Now(), m.From, m.To, m.Payload))
+		})
+	}
+	for _, st := range prog {
+		st := st
+		s.Schedule(st.at, func() {
+			if st.to < 0 {
+				nw.Broadcast(st.from, st.payload)
+			} else {
+				nw.Send(st.from, st.to, st.payload)
+			}
+		})
+	}
+	s.RunUntilIdle()
+	return trace
+}
+
+// runLegacy drives the preserved old scheduler+send path with the same
+// program and returns its delivery trace.
+func runLegacy(seed uint64, n int, prog []schedStep, fifo bool, mkDrop func() DropRule, model DelayModel) []string {
+	var trace []string
+	s := newLegacySim(seed)
+	drop := DropRule(DropNone)
+	if mkDrop != nil {
+		drop = mkDrop()
+	}
+	nw := &legacyNet{sim: s, n: n, delay: model, drop: drop, fifo: fifo, last: map[[2]int]int64{}, trace: &trace}
+	for _, st := range prog {
+		st := st
+		s.schedule(st.at, func() {
+			if st.to < 0 {
+				for to := 0; to < n; to++ {
+					nw.send(st.from, to, st.payload)
+				}
+			} else {
+				nw.send(st.from, st.to, st.payload)
+			}
+		})
+	}
+	s.runUntilIdle()
+	return trace
+}
+
+// TestSchedulerDifferentialOrder pins the flat-heap scheduler against
+// the legacy closure heap: identical seeds and programs must yield
+// byte-identical delivery traces across synchrony models, with and
+// without FIFO links.
+func TestSchedulerDifferentialOrder(t *testing.T) {
+	models := []DelayModel{
+		Synchronous{Delta: 1},
+		Synchronous{Delta: 7},
+		PartialSynchrony{GST: 20, DeltaBefore: 15, DeltaAfter: 2},
+		Asynchronous{P: 0.4},
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, m := range models {
+			for _, fifo := range []bool{false, true} {
+				prog := buildProgram(seed, 5, 120)
+				got := runNew(seed, 5, prog, fifo, nil, m)
+				want := runLegacy(seed, 5, prog, fifo, nil, m)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %s fifo=%v: %d vs %d deliveries", seed, m.Name(), fifo, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d %s fifo=%v: delivery %d diverged:\n new %s\n old %s",
+							seed, m.Name(), fifo, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerDifferentialWithDrops pins DropNth/DropToProcess under
+// the new event heap: the dropped message set and the surviving
+// delivery order must match the legacy scheduler exactly.
+func TestSchedulerDifferentialWithDrops(t *testing.T) {
+	rules := []struct {
+		name string
+		mk   func() DropRule
+	}{
+		{"DropToProcess(2)", func() DropRule { return DropToProcess(2) }},
+		{"DropFromProcess(1)", func() DropRule { return DropFromProcess(1) }},
+		{"DropNth(0,to2)", func() DropRule { return DropNth(0, DropToProcess(2)) }},
+		{"DropNth(7,all)", func() DropRule { return DropNth(7, nil) }},
+	}
+	for seed := uint64(0); seed < 4; seed++ {
+		for _, r := range rules {
+			for _, fifo := range []bool{false, true} {
+				prog := buildProgram(seed, 4, 80)
+				got := runNew(seed, 4, prog, fifo, r.mk, Synchronous{Delta: 5})
+				want := runLegacy(seed, 4, prog, fifo, r.mk, Synchronous{Delta: 5})
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d rule %s fifo=%v: traces diverged\n new %v\n old %v",
+						seed, r.name, fifo, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFIFOLinkOrderUnderFlatHeap floods one link with same-time sends
+// and checks per-link FIFO order survives the flat-heap rewrite even
+// when the delay model would reorder aggressively.
+func TestFIFOLinkOrderUnderFlatHeap(t *testing.T) {
+	s := NewSim(97)
+	nw := NewNetwork(s, 3, Asynchronous{P: 0.15}) // heavy-tailed delays
+	nw.SetFIFO(true)
+	var got []int
+	nw.AddHandler(1, func(m Message) {
+		if m.From == 0 {
+			got = append(got, m.Payload.(int))
+		}
+	})
+	for burst := 0; burst < 5; burst++ {
+		b := burst
+		s.Schedule(int64(10*b), func() {
+			for i := 0; i < 20; i++ {
+				nw.Send(0, 1, b*20+i)
+			}
+		})
+	}
+	s.RunUntilIdle()
+	if len(got) != 100 {
+		t.Fatalf("delivered %d of 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at position %d: got %d (%v...)", i, v, got[:i+1])
+		}
+	}
+}
+
+// TestDropNthExactUnderFlood checks that DropNth drops exactly its
+// target under a broadcast flood on the new heap: every other matching
+// message is delivered.
+func TestDropNthExactUnderFlood(t *testing.T) {
+	s := NewSim(13)
+	nw := NewNetwork(s, 4, Synchronous{Delta: 3})
+	nw.SetDrop(DropNth(2, DropToProcess(3)))
+	var to3 []int
+	nw.AddHandler(3, func(m Message) { to3 = append(to3, m.Payload.(int)) })
+	for i := 0; i < 3; i++ {
+		nw.AddHandler(i, func(Message) {})
+	}
+	for i := 0; i < 6; i++ {
+		i := i
+		s.Schedule(int64(i+1), func() { nw.Broadcast(0, i) })
+	}
+	s.RunUntilIdle()
+	// Broadcast i sends one message to p3 per round (plus loopback-free
+	// others): the 2nd (0-based) matching one — payload 2 — is dropped.
+	if len(to3) != 5 {
+		t.Fatalf("p3 received %d messages, want 5: %v", len(to3), to3)
+	}
+	for _, v := range to3 {
+		if v == 2 {
+			t.Fatalf("payload 2 should have been dropped: %v", to3)
+		}
+	}
+	_, _, dropped := nw.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped %d, want 1", dropped)
+	}
+}
+
+// BenchmarkSchedulerFlood measures the scheduler cost per flooded
+// message, flat value-type heap vs. the legacy closure heap (DESIGN.md
+// ablation #6).
+func BenchmarkSchedulerFlood(b *testing.B) {
+	const n = 8
+	b.Run("flat-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewSim(1)
+		nw := NewNetwork(s, n, Synchronous{Delta: 3})
+		for p := 0; p < n; p++ {
+			nw.AddHandler(p, func(Message) {})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nw.Broadcast(i%n, i)
+			if s.Pending() > 4096 {
+				s.RunUntilIdle()
+			}
+		}
+		s.RunUntilIdle()
+	})
+	b.Run("legacy-closure-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		s := newLegacySim(1)
+		sink := 0
+		deliver := func(m Message) { sink += m.To }
+		send := func(from, to int, payload any) {
+			m := Message{From: from, To: to, Payload: payload}
+			var d int64
+			if from != to {
+				d = Synchronous{Delta: 3}.Delay(s.rng, s.now, from, to)
+			}
+			s.schedule(d, func() { deliver(m) })
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for to := 0; to < n; to++ {
+				send(i%n, to, i)
+			}
+			if len(s.pq) > 4096 {
+				s.runUntilIdle()
+			}
+		}
+		s.runUntilIdle()
+	})
+}
