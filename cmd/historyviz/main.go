@@ -1,12 +1,15 @@
 // Command historyviz renders recorded concurrent histories in the style
 // of the paper's Figures 2–4: per-process timelines of read() operations
-// with the returned blockchains, plus the BlockTree and the criterion
-// verdicts. It can render the three built-in paper histories or a fresh
-// protocol run.
+// with the returned blockchains, plus the BlockTree, the criterion
+// verdicts with their counterexample witnesses, and — for adversarial
+// runs — the fault timeline (drops, partition cuts/heals, withheld and
+// released blocks). It can render the three built-in paper histories, a
+// fresh protocol run, or any scenario of the adversarial catalogue
+// (e.g. "bitcoin/selfish", "fabric/equivocate"; see cmd/scenarios).
 //
 // Usage:
 //
-//	historyviz [-seed N] [fig2|fig3|fig4|bitcoin|fabric]
+//	historyviz [-seed N] [fig2|fig3|fig4|bitcoin|fabric|<scenario-name>]
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"repro/internal/protocols"
 	"repro/internal/protocols/bitcoin"
 	"repro/internal/protocols/fabric"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -56,7 +60,22 @@ func main() {
 		render(fabric.Run(cfg))
 		return
 	default:
-		fmt.Fprintf(os.Stderr, "historyviz: unknown target %q (fig2|fig3|fig4|bitcoin|fabric)\n", which)
+		if spec := scenario.ByName(which); spec != nil {
+			var o *scenario.Outcome
+			if *seed != 42 {
+				o = spec.Run(*seed)
+			} else {
+				o = spec.Run(0) // pinned catalogue seed
+			}
+			fmt.Printf("scenario %s (seed %d, digest %s): %s\n\n", spec.Name, o.Seed, o.Digest, spec.Note)
+			render(o.Res)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "historyviz: unknown target %q (fig2|fig3|fig4|bitcoin|fabric|<scenario>)\n", which)
+		fmt.Fprintln(os.Stderr, "scenarios:")
+		for _, s := range scenario.Catalogue() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
 		os.Exit(2)
 	}
 }
@@ -83,6 +102,8 @@ func render(res *protocols.Result) {
 		fmt.Println(sb.String())
 	}
 
+	renderFaults(res)
+
 	fmt.Println("\nfinal BlockTree (replica 0):")
 	drawTree(res.Trees[0], core.GenesisID, "")
 
@@ -91,6 +112,44 @@ func render(res *protocols.Result) {
 	fmt.Println()
 	fmt.Println(sc)
 	fmt.Println(ec)
+	for _, w := range append(sc.Witnesses(), ec.Witnesses()...) {
+		fmt.Println("  witness:", w)
+	}
+}
+
+// renderFaults draws the fault timeline: partition cuts/heals and the
+// adversary's withhold/release/equivocate decisions as individual
+// events, with the (potentially numerous) per-message drop/defer events
+// summarized into counts.
+func renderFaults(res *protocols.Result) {
+	if len(res.FaultEvents) == 0 {
+		return
+	}
+	perMsg := map[string]int{}
+	var timeline []string
+	for _, e := range res.FaultEvents {
+		switch e.Kind {
+		case "drop", "defer", "partloss":
+			perMsg[e.Kind]++
+		default:
+			timeline = append(timeline, e.String())
+		}
+	}
+	fmt.Printf("\nfaults │ adversary=%s", res.AdversaryName)
+	for _, k := range []string{"drop", "defer", "partloss"} {
+		if perMsg[k] > 0 {
+			fmt.Printf(" %s×%d", k, perMsg[k])
+		}
+	}
+	fmt.Println()
+	const maxShown = 24
+	for i, line := range timeline {
+		if i >= maxShown {
+			fmt.Printf("       │ … %d more events\n", len(timeline)-i)
+			break
+		}
+		fmt.Printf("       │ %s\n", line)
+	}
 }
 
 func headShort(c core.Chain) string {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/protocols"
 	"repro/internal/protocols/bitcoin"
 	"repro/internal/protocols/ethereum"
+	"repro/internal/scenario"
 	"repro/internal/simnet"
 )
 
@@ -98,5 +99,51 @@ func TestSimScaleDeterminismPinned(t *testing.T) {
 	want := benchsuite.ScaleStats{Blocks: 300, Reads: 72, CommEvts: 5100, MaxHeight: 106, SCOK: false, ECOK: true}
 	if got != want {
 		t.Fatalf("SimScale drifted:\n got %+v\nwant %+v", got, want)
+	}
+	// The adversarial variant: partition windows + an equivocator. The
+	// fault-schedule routing, withholding and forgery must replay
+	// exactly too.
+	gotAdv := benchsuite.RunSimScaleAdversarial(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5})
+	wantAdv := benchsuite.ScaleStats{Blocks: 337, Reads: 70, CommEvts: 5729, MaxHeight: 93, SCOK: false, ECOK: true}
+	if gotAdv != wantAdv {
+		t.Fatalf("adversarial SimScale drifted:\n got %+v\nwant %+v", gotAdv, wantAdv)
+	}
+}
+
+// TestScenarioDigestsPinned pins the replay digest of every catalogue
+// scenario: each adversarial execution — fault schedules, withheld and
+// released branches, forged siblings, and the verdicts measured on the
+// resulting histories — must replay byte-identically from its seed.
+// The digest folds every operation (with its returned chain), every
+// communication event, every replica tree, the fault-event log and the
+// criterion verdicts (scenario.Digest).
+func TestScenarioDigestsPinned(t *testing.T) {
+	want := map[string]string{
+		"bitcoin/benign":           "7e7efa79e80e836e",
+		"fabric/benign":            "e3cc195680f21dd9",
+		"bitcoin/selfish":          "2e1e57c2bd2922ae",
+		"bitcoin/withhold-release": "ef743d0e60bb2517",
+		"bitcoin/partition-heal":   "810b840ea7957262",
+		"bitcoin/partition-noheal": "1d7aa61e2e4da285",
+		"bitcoin/eclipse":          "d3082e19daeaf734",
+		"bitcoin/churn":            "70b1748a305da816",
+		"ethereum/forkflood":       "b21a721fd18bf5fa",
+		"fabric/equivocate":        "b6f94a45a7e46d66",
+	}
+	specs := scenario.Catalogue()
+	if len(specs) != len(want) {
+		t.Fatalf("catalogue has %d scenarios, digests pinned for %d — pin the new ones", len(specs), len(want))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			w, ok := want[spec.Name]
+			if !ok {
+				t.Fatalf("no pinned digest for %s", spec.Name)
+			}
+			if got := spec.Run(0).Digest; got != w {
+				t.Fatalf("digest changed: got %s, want %s (adversarial runs must replay byte-identically)", got, w)
+			}
+		})
 	}
 }

@@ -1,0 +1,154 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// mintOn builds a deterministic valid block chained to parent.
+func mintOn(parent *core.Block, creator, round int) *core.Block {
+	return core.NewBlock(parent.ID, parent.Height+1, creator, round, []byte{byte(round)})
+}
+
+func TestSelfishWithholdsUntilHonestProgress(t *testing.T) {
+	sim := simnet.NewSim(1)
+	g := replica.NewGroup(sim, 3, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	s := NewSelfishMiner(g.Procs[2], g.Net, Config{Strategy: Selfish, Lead: 1})
+
+	// Adversary mines privately: no other replica may see the block.
+	s.Step(func(parent *core.Block) *core.Block { return mintOn(parent, 2, 0) })
+	sim.RunUntilIdle()
+	if s.Withheld != 1 || len(s.withheld) != 1 {
+		t.Fatalf("withheld = %d (buffer %d), want 1", s.Withheld, len(s.withheld))
+	}
+	if g.Procs[0].Tree().Len() != 1 {
+		t.Fatalf("private block leaked to replica 0 (tree len %d)", g.Procs[0].Tree().Len())
+	}
+	if g.Procs[2].Tree().Len() != 2 {
+		t.Fatalf("private block not applied locally (tree len %d)", g.Procs[2].Tree().Len())
+	}
+
+	// Honest progress to the same height triggers the release.
+	g.Procs[0].AppendLocal(mintOn(core.Genesis(), 0, 1))
+	sim.RunUntilIdle()
+	if s.Releases != 1 {
+		t.Fatalf("releases = %d, want 1 (honest height reached tip-lead)", s.Releases)
+	}
+	if !g.Procs[1].Tree().Has(s.P.Tree().Block(g.Procs[2].SelectedHead().ID).ID) {
+		t.Fatal("released branch did not reach replica 1")
+	}
+	// Replica 1 now holds both h=1 blocks: a fork.
+	if got := g.Procs[1].Tree().Len(); got != 3 {
+		t.Fatalf("replica 1 tree len = %d, want 3 (genesis + honest + released)", got)
+	}
+}
+
+func TestSelfishAbandonsWhenOvertaken(t *testing.T) {
+	sim := simnet.NewSim(1)
+	g := replica.NewGroup(sim, 3, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	s := NewSelfishMiner(g.Procs[2], g.Net, Config{Strategy: Selfish, Lead: 0})
+	// Lead 0 normalizes to 1; use a taller honest jump to force abandon
+	// before any release can fire: private tip at h=1, honest goes to 2.
+	s.Step(func(parent *core.Block) *core.Block { return mintOn(parent, 2, 0) })
+	b1 := mintOn(core.Genesis(), 0, 1)
+	g.Procs[0].AppendLocal(b1)
+	// The release fires at honest h=1 (tie). Re-withhold on the new
+	// tip, then let honest overtake by two to hit the abandon path.
+	sim.RunUntilIdle()
+	s.Step(func(parent *core.Block) *core.Block { return mintOn(parent, 2, 2) })
+	prevTip := s.withheld[len(s.withheld)-1]
+	b2 := mintOn(b1, 0, 3)
+	g.Procs[0].AppendLocal(b2)
+	g.Procs[0].AppendLocal(mintOn(b2, 0, 4))
+	sim.RunUntilIdle()
+	if s.Abandoned == 0 && len(s.withheld) > 0 {
+		t.Fatalf("private branch neither abandoned nor released after honest overtake (tip %s)", prevTip.ID.Short())
+	}
+}
+
+func TestWithholderFlushesAtEnd(t *testing.T) {
+	sim := simnet.NewSim(1)
+	g := replica.NewGroup(sim, 3, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	s := NewSelfishMiner(g.Procs[2], g.Net, Config{Strategy: Withhold})
+
+	var parent *core.Block
+	s.Step(func(p *core.Block) *core.Block { parent = p; return mintOn(p, 2, 0) })
+	s.Step(func(p *core.Block) *core.Block { return mintOn(p, 2, 1) })
+	// Honest progress must NOT trigger a release for a committed
+	// withholder (HoldToEnd).
+	g.Procs[0].AppendLocal(mintOn(core.Genesis(), 0, 2))
+	sim.RunUntilIdle()
+	if s.Releases != 0 || len(s.withheld) != 2 {
+		t.Fatalf("withholder released early: releases=%d withheld=%d", s.Releases, len(s.withheld))
+	}
+	if parent == nil || !parent.IsGenesis() {
+		t.Fatalf("first private block should chain to genesis, got %v", parent)
+	}
+	s.Flush()
+	sim.RunUntilIdle()
+	if s.Releases != 1 {
+		t.Fatalf("flush did not release (releases=%d)", s.Releases)
+	}
+	if got := g.Procs[0].Tree().Height(); got != 2 {
+		t.Fatalf("released branch should give replica 0 height 2, got %d", got)
+	}
+}
+
+func TestEquivocatorBreaksKForkCoherence(t *testing.T) {
+	sim := simnet.NewSim(1)
+	g := replica.NewGroup(sim, 3, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	e := NewEquivocator(g.Procs[2], g.Net, Config{Strategy: Equivocate, Forks: 3})
+
+	gen := core.Genesis()
+	b := mintOn(gen, 2, 0).WithToken(oracle.TokenName(gen.ID))
+	flooded := e.FloodSiblings(b)
+	sim.RunUntilIdle()
+
+	if len(flooded) != 3 || e.Forged != 2 {
+		t.Fatalf("flooded %d blocks, forged %d; want 3 and 2", len(flooded), e.Forged)
+	}
+	for _, sib := range flooded {
+		if sib.Token != b.Token {
+			t.Fatalf("sibling %s does not reuse the token (%q vs %q)", sib.ID.Short(), sib.Token, b.Token)
+		}
+		if !g.Procs[0].Tree().Has(sib.ID) {
+			t.Fatalf("sibling %s did not reach replica 0", sib.ID.Short())
+		}
+	}
+
+	h := g.History()
+	chk := consistency.NewChecker(core.LengthScore{}, nil)
+	rep := chk.KForkCoherence(h, 1)
+	if rep.OK {
+		t.Fatal("1-fork coherence should be violated by a 3-way equivocation")
+	}
+	if len(rep.Witnesses) == 0 || len(rep.Witnesses[0].Blocks) != 3 {
+		t.Fatalf("k-fork witness should carry the 3 fork blocks, got %+v", rep.Witnesses)
+	}
+	if ok := chk.KForkCoherence(h, 3); !ok.OK {
+		t.Fatal("3-fork coherence should hold for a 3-way equivocation")
+	}
+}
+
+func TestConfigResolution(t *testing.T) {
+	if got := (Config{}).ProcID(4); got != 3 {
+		t.Fatalf("zero-value Proc should resolve to N-1, got %d", got)
+	}
+	if got := (Config{Proc: 2}).ProcID(4); got != 2 {
+		t.Fatalf("explicit Proc should win, got %d", got)
+	}
+	if got := (Config{Proc: 9}).ProcID(4); got != 3 {
+		t.Fatalf("out-of-range Proc should fall back to N-1, got %d", got)
+	}
+	if (Config{}).Active() {
+		t.Fatal("zero config must be benign")
+	}
+	if name := (Config{Strategy: Selfish}).Name(); name != "selfish(lead=1)" {
+		t.Fatalf("Name() = %q", name)
+	}
+}

@@ -1,0 +1,70 @@
+package adversary
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// Equivocator implements fork flooding / token reuse: every time the
+// adversarial process produces a block b, it forges Forks-1 sibling
+// blocks under the same parent — stamped with the *same oracle token
+// name* — and floods them all. Correct replicas accept the siblings
+// (they are well-formed: the content hash commits to parent, creator,
+// round and payload, and replicas cannot see the oracle's bookkeeping),
+// so:
+//
+//   - under a frugal oracle Θ_F,k the history now contains more than k
+//     successful append() operations for one token — a measured k-Fork
+//     Coherence violation whose witness is the fork-block set;
+//   - under the prodigal oracle the flood widens the fork window, and
+//     with a subtree-weight selector (GHOST) it can drag correct
+//     replicas onto a shorter branch, which the Local Monotonic Read /
+//     prefix checkers observe.
+type Equivocator struct {
+	P   *replica.Process
+	Net *simnet.Network
+	// Forks is the total number of sibling blocks per opportunity.
+	Forks int
+
+	// Forged counts the forged (non-oracle) siblings flooded.
+	Forged int
+}
+
+// NewEquivocator wires the strategy onto process p.
+func NewEquivocator(p *replica.Process, nw *simnet.Network, cfg Config) *Equivocator {
+	markFaulty(p)
+	return &Equivocator{P: p, Net: nw, Forks: cfg.forks()}
+}
+
+// forgedPayload derives the variant payload of forged sibling v from the
+// original block's payload, so each sibling has a distinct content hash.
+func forgedPayload(orig []byte, v int) []byte {
+	out := make([]byte, len(orig)+4)
+	copy(out, orig)
+	binary.LittleEndian.PutUint32(out[len(orig):], uint32(v))
+	return out
+}
+
+// FloodSiblings appends and floods b, then forges and floods Forks-1
+// siblings under b's parent carrying b's token name. It returns every
+// block flooded (b first).
+func (e *Equivocator) FloodSiblings(b *core.Block) []*core.Block {
+	out := []*core.Block{b}
+	e.P.AppendLocal(b)
+	for v := 1; v < e.Forks; v++ {
+		sib := core.NewBlock(b.Parent, b.Height, e.P.ID, b.Round, forgedPayload(b.Payload, v))
+		if b.Token != "" {
+			sib = sib.WithToken(b.Token)
+		}
+		e.P.AppendLocal(sib)
+		e.Forged++
+		out = append(out, sib)
+		note(e.Net, "equivocate", e.P.ID,
+			fmt.Sprintf("forged sibling %s of %s under %s", sib.ID.Short(), b.ID.Short(), b.Parent.Short()))
+	}
+	return out
+}

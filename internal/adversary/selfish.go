@@ -1,0 +1,140 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// SelfishMiner implements withhold-and-release mining (Eyal & Sirer's
+// selfish-mining shape, simplified to the deterministic policy below).
+// The adversary mines on a private branch, applying every block to its
+// own replica with the network send suppressed (replica.Process.Mute).
+// The policy per tick:
+//
+//   - mine on the private tip (the adversary's selected head, which
+//     includes the withheld blocks);
+//   - if the honest chain has overtaken the private tip, abandon the
+//     private branch (the withheld blocks stay orphaned in the local
+//     tree; the selector walks back onto the honest branch);
+//   - if the honest chain has come within Lead of the private tip,
+//     publish the whole private branch — the release that forces every
+//     honest replica into a reorg, the Strong Prefix counterexample.
+//
+// With ReleaseAtEnd (the Withhold strategy), the branch is only
+// published by Flush at the end of the run: one maximal late reorg.
+type SelfishMiner struct {
+	P   *replica.Process
+	Net *simnet.Network
+
+	// Lead is the release threshold (see Config.Lead).
+	Lead int
+	// HoldToEnd disables the threshold release; only Flush publishes.
+	HoldToEnd bool
+
+	withheld     []*core.Block
+	honestHeight int
+
+	// Stats: blocks withheld, release events, branches abandoned.
+	Withheld, Releases, Abandoned int
+}
+
+// NewSelfishMiner wires the strategy onto process p: mutes its sends and
+// chains an OnCommit hook to track the honest chain height.
+func NewSelfishMiner(p *replica.Process, nw *simnet.Network, cfg Config) *SelfishMiner {
+	s := &SelfishMiner{P: p, Net: nw, Lead: cfg.lead(), HoldToEnd: cfg.Strategy == Withhold}
+	p.Mute = true
+	markFaulty(p)
+	prev := p.OnCommit
+	p.OnCommit = func(b *core.Block) {
+		if b.Creator != p.ID && b.Height > s.honestHeight {
+			s.honestHeight = b.Height
+			// The release policy triggers on honest progress (the
+			// moment the honest chain threatens the private lead), not
+			// on the adversary's own mining.
+			s.react()
+		}
+		if prev != nil {
+			prev(b)
+		}
+	}
+	return s
+}
+
+// tip returns the private tip the adversary mines on: the last withheld
+// block, or the replica's selected head when nothing is withheld (the
+// adversary rides the honest chain until its next token).
+func (s *SelfishMiner) tip() *core.Block {
+	if n := len(s.withheld); n > 0 {
+		return s.withheld[n-1]
+	}
+	return s.P.SelectedHead()
+}
+
+// Step performs one adversary tick: try to extend the private branch via
+// mint. It is called once per protocol round in place of the process's
+// honest mining step; releases are triggered by honest progress (the
+// OnCommit hook), not by the adversary's own blocks.
+func (s *SelfishMiner) Step(mint Mint) {
+	parent := s.tip()
+	if b := mint(parent); b != nil {
+		s.P.AppendLocal(b) // muted: applied + recorded, not flooded
+		s.withheld = append(s.withheld, b)
+		s.Withheld++
+		note(s.Net, "withhold", s.P.ID, fmt.Sprintf("block %s h=%d (private lead %d)", b.ID.Short(), b.Height, s.lead()))
+	}
+}
+
+// lead returns the private branch's height advantage over the honest
+// chain (negative when honest is ahead).
+func (s *SelfishMiner) lead() int {
+	if len(s.withheld) == 0 {
+		return 0
+	}
+	return s.withheld[len(s.withheld)-1].Height - s.honestHeight
+}
+
+// react applies the abandon/release policy after each tick.
+func (s *SelfishMiner) react() {
+	if len(s.withheld) == 0 {
+		return
+	}
+	if s.HoldToEnd {
+		// A committed withholder rides its branch to the end-of-run
+		// Flush, win or lose — the maximal-late-reorg variant.
+		return
+	}
+	tipH := s.withheld[len(s.withheld)-1].Height
+	if s.honestHeight > tipH {
+		// Honest overtook: the private branch lost the race.
+		s.withheld = s.withheld[:0]
+		s.Abandoned++
+		note(s.Net, "abandon", s.P.ID, fmt.Sprintf("honest chain reached h=%d", s.honestHeight))
+		return
+	}
+	if s.honestHeight >= tipH-s.Lead {
+		s.publish("lead threatened")
+	}
+}
+
+// Flush publishes any still-withheld branch (the ReleaseAtEnd path).
+func (s *SelfishMiner) Flush() {
+	if len(s.withheld) > 0 {
+		s.publish("end of run")
+	}
+}
+
+// publish floods the withheld branch oldest-first (parents first, so
+// FIFO links deliver the branch in attachable order) and resets it.
+func (s *SelfishMiner) publish(why string) {
+	note(s.Net, "release", s.P.ID,
+		fmt.Sprintf("%d withheld blocks (%s), tip h=%d vs honest h=%d", len(s.withheld), why,
+			s.withheld[len(s.withheld)-1].Height, s.honestHeight))
+	for _, b := range s.withheld {
+		s.P.Publish(b)
+	}
+	s.Releases++
+	s.withheld = s.withheld[:0]
+}

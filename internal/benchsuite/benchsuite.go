@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/protocols"
@@ -103,6 +104,88 @@ func RunSimScale(cfg ScaleConfig) ScaleStats {
 	}
 }
 
+// RunSimScaleAdversarial executes the attack-scenario variant of the
+// pipeline workload: the same mining/flooding/reading shape as
+// RunSimScale plus two healed partition windows (messages queue across
+// the cut and flush on heal) and an equivocating replica that floods a
+// forged sibling for every block it mines. It prices the adversarial
+// pipeline — fault-schedule routing on every send, fork-heavy trees,
+// violation-bearing checker runs — against the benign baseline
+// (DESIGN.md ablation #8).
+func RunSimScaleAdversarial(cfg ScaleConfig) ScaleStats {
+	if cfg.ReadEvery <= 0 {
+		cfg.ReadEvery = int64(cfg.Blocks / 8)
+		if cfg.ReadEvery < 1 {
+			cfg.ReadEvery = 1
+		}
+	}
+	sim := simnet.NewSim(cfg.Seed)
+	g := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: 3}, core.LongestChain{})
+	g.Net.SetFIFO(true)
+	g.SetPredicate(core.WellFormed{})
+
+	// Two split-brain windows, each a quarter of the run long, both
+	// healed well before the end so the final reads can converge.
+	quarter := int64(cfg.Blocks / 4)
+	if quarter < 8 {
+		quarter = 8
+	}
+	var left []int
+	for p := 0; p < cfg.N/2; p++ {
+		left = append(left, p)
+	}
+	g.Net.SetSchedule(simnet.NewSchedule(
+		simnet.SplitWindow(quarter/2, quarter, cfg.N, left),
+		simnet.SplitWindow(2*quarter, 2*quarter+quarter/2, cfg.N, left),
+	))
+	adv := adversary.NewEquivocator(g.Procs[cfg.N-1], g.Net, adversary.Config{Strategy: adversary.Equivocate, Forks: 2})
+
+	for r := 0; r < cfg.Blocks; r++ {
+		r := r
+		p := g.Procs[r%cfg.N]
+		sim.Schedule(int64(r+1), func() {
+			head := p.SelectedHead()
+			blk := core.NewBlock(head.ID, head.Height+1, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+			if p == adv.P {
+				adv.FloodSiblings(blk)
+			} else {
+				p.AppendLocal(blk)
+			}
+		})
+	}
+	for t := cfg.ReadEvery; t <= int64(cfg.Blocks); t += cfg.ReadEvery {
+		tt := t
+		sim.Schedule(tt, func() {
+			for _, pr := range g.Procs {
+				pr.Read()
+			}
+		})
+	}
+	sim.RunUntilIdle()
+	// Two post-convergence read batches (as the protocol runs do): the
+	// equivocator's reads are excluded as faulty, so a single batch
+	// would leave room in the liveness tail window for a pre-heal read.
+	for _, pr := range g.Procs {
+		pr.Read()
+	}
+	for _, pr := range g.Procs {
+		pr.Read()
+	}
+
+	h := g.History()
+	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
+	sc, ec := chk.Classify(h)
+
+	return ScaleStats{
+		Blocks:    g.Procs[0].Tree().Len() - 1,
+		Reads:     len(h.Reads()),
+		CommEvts:  len(h.Comm),
+		MaxHeight: g.Procs[0].Tree().Height(),
+		SCOK:      sc.OK,
+		ECOK:      ec.OK,
+	}
+}
+
 // Case is one tracked benchmark: Run executes one self-verifying
 // iteration (cmd/bench times it directly), Bench is the testing.B
 // wrapper for `go test -bench`.
@@ -138,12 +221,45 @@ func scaleCase(cfg ScaleConfig) Case {
 	}}
 }
 
+// scaleAdvCase wraps one adversarial SimScale config. The partitions
+// and the equivocator guarantee measured Strong Prefix violations (the
+// case fails if the checker still says SC holds — the adversarial
+// pipeline must witness the attack), while the healed cuts and the
+// post-convergence reads keep EC intact.
+func scaleAdvCase(cfg ScaleConfig) Case {
+	name := fmt.Sprintf("SimScale/N%d-b%d-adv", cfg.N, cfg.Blocks)
+	run := func() error {
+		st := RunSimScaleAdversarial(cfg)
+		if st.SCOK {
+			return fmt.Errorf("%s: SC held — the attack went unmeasured", name)
+		}
+		if !st.ECOK {
+			return fmt.Errorf("%s: EC violated despite healed partitions", name)
+		}
+		if st.Blocks < cfg.Blocks {
+			return fmt.Errorf("%s: only %d blocks attached at replica 0, want ≥ %d", name, st.Blocks, cfg.Blocks)
+		}
+		return nil
+	}
+	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
 // Cases returns the tracked suite, smallest first. All entries are
-// deterministic and self-verifying.
+// deterministic and self-verifying; the -adv entries track the
+// attack-scenario pipeline cost alongside the benign runs.
 func Cases() []Case {
 	return []Case{
 		scaleCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
+		scaleAdvCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
+		scaleAdvCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
 	}

@@ -30,11 +30,36 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/history"
 )
+
+// Witness is a structured counterexample backing one violation: the
+// offending operations (a diverging read pair, the stale read, the >k
+// appends) and block IDs (fork blocks, the invalid block), plus the
+// rendered detail line. The violation matrix of internal/scenario and
+// the cmd/historyviz renderer consume witnesses instead of re-parsing
+// the human-readable Violations strings.
+type Witness struct {
+	// Property names the violated property.
+	Property string
+	// Ops are the operations that together exhibit the violation.
+	Ops []*history.Op
+	// Blocks are the block IDs at the heart of the violation (chain
+	// heads of a diverging pair, fork siblings, the invalid block).
+	Blocks []core.BlockID
+	// Detail is the rendered counterexample (same text as the matching
+	// Violations entry).
+	Detail string
+}
+
+// String renders the witness as "property: detail".
+func (w Witness) String() string {
+	return w.Property + ": " + w.Detail
+}
 
 // Report is the outcome of checking one property on one history.
 type Report struct {
@@ -46,6 +71,9 @@ type Report struct {
 	// Violations holds human-readable counterexamples, capped at
 	// MaxViolations.
 	Violations []string
+	// Witnesses holds the structured counterexamples, parallel to
+	// Violations (same cap, same order).
+	Witnesses []Witness
 	// Checked counts the atomic facts examined (pairs, reads, ...),
 	// so reports can convey coverage.
 	Checked int
@@ -55,9 +83,19 @@ type Report struct {
 const MaxViolations = 16
 
 func (r *Report) violate(format string, args ...any) {
+	r.witness(nil, nil, format, args...)
+}
+
+// witness records a violation together with its structured counterexample
+// (ops and blocks may be nil when the violation has no natural carrier,
+// as for the plain violate() path — the Witness then carries only the
+// detail line, keeping Witnesses parallel to Violations everywhere).
+func (r *Report) witness(ops []*history.Op, blocks []core.BlockID, format string, args ...any) {
 	r.OK = false
 	if len(r.Violations) < MaxViolations {
-		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+		detail := fmt.Sprintf(format, args...)
+		r.Violations = append(r.Violations, detail)
+		r.Witnesses = append(r.Witnesses, Witness{Property: r.Property, Ops: ops, Blocks: blocks, Detail: detail})
 	}
 }
 
@@ -313,16 +351,19 @@ func (a *analysis) blockValidity() *Report {
 			}
 			rep.Checked++
 			if !a.c.P.Valid(b) {
-				rep.violate("read %s returned block %s with P(b)=false", r, b.ID.Short())
+				rep.witness([]*history.Op{r}, []core.BlockID{b.ID},
+					"read %s returned block %s with P(b)=false", r, b.ID.Short())
 				continue
 			}
 			ap, ok := a.appendInv[b.ID]
 			if !ok {
-				rep.violate("read %s returned block %s never passed to append()", r, b.ID.Short())
+				rep.witness([]*history.Op{r}, []core.BlockID{b.ID},
+					"read %s returned block %s never passed to append()", r, b.ID.Short())
 				continue
 			}
 			if ap.InvIndex >= r.RspIndex {
-				rep.violate("read %s returned block %s appended only later (inv %d ≥ rsp %d)",
+				rep.witness([]*history.Op{r, ap}, []core.BlockID{b.ID},
+					"read %s returned block %s appended only later (inv %d ≥ rsp %d)",
 					r, b.ID.Short(), ap.InvIndex, r.RspIndex)
 			}
 		}
@@ -358,7 +399,8 @@ func (a *analysis) localMonotonicRead() *Report {
 			if prev != nil {
 				rep.Checked++
 				if prevScore > s {
-					rep.violate("process %d: score dropped %d → %d (%s then %s)",
+					rep.witness([]*history.Op{prev, op}, []core.BlockID{prev.Head, op.Head},
+						"process %d: score dropped %d → %d (%s then %s)",
 						p, prevScore, s, prev, op)
 				}
 			}
@@ -391,7 +433,8 @@ func (c *Checker) StrongPrefix(h *history.History) *Report {
 				continue // identical interned chains
 			}
 			if !reads[i].Chain().Comparable(reads[j].Chain()) {
-				rep.violate("incomparable reads: %s vs %s", reads[i], reads[j])
+				rep.witness([]*history.Op{reads[i], reads[j]}, []core.BlockID{reads[i].Head, reads[j].Head},
+					"incomparable reads: %s vs %s", reads[i], reads[j])
 				if len(rep.Violations) == MaxViolations {
 					return rep
 				}
@@ -439,7 +482,8 @@ func (a *analysis) strongPrefixSorted(name string) *Report {
 			continue // identical interned chains
 		}
 		if !prev.Chain().Prefix(cur.Chain()) {
-			rep.violate("incomparable reads: %s vs %s", prev, cur)
+			rep.witness([]*history.Op{prev, cur}, []core.BlockID{prev.Head, cur.Head},
+				"incomparable reads: %s vs %s", prev, cur)
 		}
 	}
 	return rep
@@ -482,7 +526,8 @@ func (a *analysis) everGrowingTree() *Report {
 			}
 		}
 		if stale != nil && maxT > s {
-			rep.violate("stagnation persists after %s: final-window read %s has score ≤ %d while the window grew to %d",
+			rep.witness([]*history.Op{r, stale}, []core.BlockID{r.Head, stale.Head},
+				"stagnation persists after %s: final-window read %s has score ≤ %d while the window grew to %d",
 				r, stale, s, maxT)
 			if len(rep.Violations) == MaxViolations {
 				a.repEGT = rep
@@ -585,7 +630,9 @@ func (a *analysis) eventualPrefix() *Report {
 					bound = sb
 				}
 				if m < bound {
-					rep.violate("after %s (score %d) final-window reads still diverge: mcps(%s, %s)=%d < %d",
+					rep.witness([]*history.Op{r, tail[ax], tail[ay]},
+						[]core.BlockID{tail[ax].Head, tail[ay].Head},
+						"after %s (score %d) final-window reads still diverge: mcps(%s, %s)=%d < %d",
 						r, s, tail[ax], tail[ay], m, bound)
 					if len(rep.Violations) == MaxViolations {
 						a.repEP = rep
@@ -617,13 +664,33 @@ func (c *Checker) KForkCoherence(h *history.History, k int) *Report {
 		}
 		byToken[key] = append(byToken[key], op)
 	}
-	for tok, ops := range byToken {
+	toks := make([]string, 0, len(byToken))
+	for tok := range byToken {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks) // deterministic report order (map iteration is not)
+	for _, tok := range toks {
+		ops := byToken[tok]
 		rep.Checked++
 		if len(ops) > k {
-			rep.violate("token %q consumed by %d successful appends (k=%d)", tok, len(ops), k)
+			blocks := make([]core.BlockID, len(ops))
+			for i, op := range ops {
+				blocks[i] = op.Block.ID
+			}
+			rep.witness(ops, blocks,
+				"token %q consumed by %d successful appends (k=%d): forks %s", tok, len(ops), k, shortIDs(blocks))
 		}
 	}
 	return rep
+}
+
+// shortIDs renders block IDs compactly for witness details.
+func shortIDs(ids []core.BlockID) string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.Short()
+	}
+	return "[" + strings.Join(out, " ") + "]"
 }
 
 // Verdict aggregates the criterion-level outcome.
@@ -656,6 +723,27 @@ func (v *Verdict) Failing() []string {
 		}
 	}
 	return out
+}
+
+// Witnesses returns the structured counterexamples of every violated
+// property in the verdict, in report order.
+func (v *Verdict) Witnesses() []Witness {
+	var out []Witness
+	for _, r := range v.Reports {
+		out = append(out, r.Witnesses...)
+	}
+	return out
+}
+
+// FirstWitness returns the first counterexample, or a zero Witness when
+// the verdict holds (check OK first).
+func (v *Verdict) FirstWitness() Witness {
+	for _, r := range v.Reports {
+		if len(r.Witnesses) > 0 {
+			return r.Witnesses[0]
+		}
+	}
+	return Witness{}
 }
 
 // verdictOf bundles reports into a criterion verdict.

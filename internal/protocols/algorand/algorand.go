@@ -62,6 +62,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.LongestChain{})
+	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {
 		if a <= 0 {
@@ -212,6 +213,8 @@ func Run(cfg Config) *protocols.Result {
 		OracleClaim:    "ΘF,k=1 (w.h.p.)",
 		PaperCriterion: "SC w.h.p.",
 		Stats:          stats,
+		FaultEvents:    group.Net.FaultEvents(),
+		AdversaryName:  cfg.Adversary.Name(),
 	}
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())

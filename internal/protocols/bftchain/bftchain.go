@@ -59,6 +59,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
+	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	// The frugal oracle with k = 1: getToken validates proposals (the
 	// PoW/Sortition/endorsement step of the real systems), the
@@ -165,6 +166,8 @@ func Run(cfg Config) *protocols.Result {
 		OracleClaim:    "ΘF,k=1",
 		PaperCriterion: "SC",
 		Stats:          stats,
+		FaultEvents:    group.Net.FaultEvents(),
+		AdversaryName:  cfg.Adversary.Name(),
 	}
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())

@@ -58,7 +58,14 @@ func Run(cfg Config) *protocols.Result {
 		group.Net.SetDrop(cfg.DropRule)
 	}
 	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
+	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
+
+	// Adversarial wiring: one process may run a selfish-mining /
+	// withholding / equivocation strategy; its reads are excluded from
+	// the criteria (it is Byzantine), and what the checkers then measure
+	// is the damage inflicted on the correct processes.
+	adv := cfg.WireAdversary(group)
 	if cfg.TargetSpacing <= 0 {
 		cfg.TargetSpacing = 4
 	}
@@ -111,21 +118,26 @@ func Run(cfg Config) *protocols.Result {
 		r := round
 		sim.Schedule(int64(round+1), func() {
 			for i, p := range group.Procs {
-				head := p.SelectedHead()
-				b, ok := orc.GetToken(merits[i], head, p.ID, r, protocols.CoinbasePayload(p.ID, r))
-				if !ok {
-					continue
-				}
-				if _, consumed := orc.ConsumeToken(b); consumed {
+				i, p := i, p
+				adv.MineTick(p, func(parent *core.Block) *core.Block {
+					b, ok := orc.GetToken(merits[i], parent, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+					if !ok {
+						return nil
+					}
+					if _, consumed := orc.ConsumeToken(b); !consumed {
+						return nil
+					}
 					stats["mined"]++
-					p.AppendLocal(b)
+					// Epoch accounting lives in the mint so honest and
+					// adversarial blocks count toward the retarget alike.
 					if cfg.RetargetEvery > 0 {
 						blocksInEpoch++
 						if blocksInEpoch >= cfg.RetargetEvery {
 							retarget(sim.Now())
 						}
 					}
-				}
+					return b
+				})
 			}
 		})
 	}
@@ -143,6 +155,11 @@ func Run(cfg Config) *protocols.Result {
 	sim.Run(int64(cfg.Rounds))
 	// Drain in-flight messages, then take the final convergent reads.
 	sim.RunUntilIdle()
+	if adv.FinishRun() {
+		// Late release: let the withheld branch propagate before the
+		// final read batch — one maximal reorg.
+		sim.RunUntilIdle()
+	}
 	for _, p := range group.Procs {
 		p.Read()
 	}
@@ -159,7 +176,10 @@ func Run(cfg Config) *protocols.Result {
 		OracleClaim:    "ΘP",
 		PaperCriterion: "EC",
 		Stats:          stats,
+		FaultEvents:    group.Net.FaultEvents(),
+		AdversaryName:  cfg.Adversary.Name(),
 	}
+	adv.ExportStats(stats)
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())
 	}

@@ -47,24 +47,33 @@ func Run(cfg Config) *protocols.Result {
 		group.Net.SetDrop(cfg.DropRule)
 	}
 	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
+	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
 
 	stats := map[string]int{}
 
+	// Adversarial wiring (shared with Bitcoin's): fork flooding is the
+	// interesting strategy against GHOST — forged siblings inflate a
+	// subtree's weight, dragging correct replicas between branches.
+	adv := cfg.WireAdversary(group)
+
 	for round := 0; round < cfg.Rounds; round++ {
 		r := round
 		sim.Schedule(int64(round+1), func() {
 			for i, p := range group.Procs {
-				head := p.SelectedHead()
-				b, ok := orc.GetToken(merits[i], head, p.ID, r, protocols.CoinbasePayload(p.ID, r))
-				if !ok {
-					continue
-				}
-				if _, consumed := orc.ConsumeToken(b); consumed {
+				i, p := i, p
+				adv.MineTick(p, func(parent *core.Block) *core.Block {
+					b, ok := orc.GetToken(merits[i], parent, p.ID, r, protocols.CoinbasePayload(p.ID, r))
+					if !ok {
+						return nil
+					}
+					if _, consumed := orc.ConsumeToken(b); !consumed {
+						return nil
+					}
 					stats["mined"]++
-					p.AppendLocal(b)
-				}
+					return b
+				})
 			}
 		})
 	}
@@ -80,6 +89,9 @@ func Run(cfg Config) *protocols.Result {
 
 	sim.Run(int64(cfg.Rounds))
 	sim.RunUntilIdle()
+	if adv.FinishRun() {
+		sim.RunUntilIdle()
+	}
 	for _, p := range group.Procs {
 		p.Read()
 	}
@@ -96,7 +108,10 @@ func Run(cfg Config) *protocols.Result {
 		OracleClaim:    "ΘP",
 		PaperCriterion: "EC",
 		Stats:          stats,
+		FaultEvents:    group.Net.FaultEvents(),
+		AdversaryName:  cfg.Adversary.Name(),
 	}
+	adv.ExportStats(stats)
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())
 	}

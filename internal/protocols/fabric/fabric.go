@@ -10,6 +10,7 @@
 package fabric
 
 import (
+	"repro/internal/adversary"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/oracle"
@@ -72,12 +73,28 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
+	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)
 	tob := consensus.NewTOB(group.Net, 0) // process 0 is the ordering service
 
 	stats := map[string]int{}
 	orderer := 0
+
+	// Adversarial wiring: an equivocating ordering service. Fabric's
+	// whole claim to the frugal oracle Θ_F,k=1 rests on the orderer
+	// cutting ONE block per height; a Byzantine orderer that signs two
+	// conflicting blocks for the same height (reusing the height's
+	// token) is exactly the attack the k-Fork Coherence checker was
+	// built to measure.
+	var equiv *adversary.Equivocator
+	if cfg.Adversary.Strategy == adversary.Equivocate {
+		advID := cfg.Adversary.ProcID(cfg.N)
+		if advID != orderer {
+			advID = orderer // only the orderer can equivocate on cuts
+		}
+		equiv = adversary.NewEquivocator(group.Procs[advID], group.Net, cfg.Adversary)
+	}
 	need := cfg.Endorsers/2 + 1
 
 	// Endorsement bookkeeping at each client: acks per submitted tx.
@@ -108,7 +125,11 @@ func Run(cfg Config) *protocols.Result {
 		}
 		if _, consumed := orc.ConsumeToken(b); consumed {
 			stats["consumed"]++
-			group.Procs[orderer].AppendLocal(b)
+			if equiv != nil {
+				equiv.FloodSiblings(b)
+			} else {
+				group.Procs[orderer].AppendLocal(b)
+			}
 		}
 		height++
 		batch = nil
@@ -213,6 +234,11 @@ func Run(cfg Config) *protocols.Result {
 		OracleClaim:    "ΘF,k=1",
 		PaperCriterion: "SC",
 		Stats:          stats,
+		FaultEvents:    group.Net.FaultEvents(),
+		AdversaryName:  cfg.Adversary.Name(),
+	}
+	if equiv != nil {
+		stats["forged"] = equiv.Forged
 	}
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())

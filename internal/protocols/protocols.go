@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/replica"
+	"repro/internal/simnet"
 	"repro/internal/tape"
 )
 
@@ -32,6 +35,106 @@ type Config struct {
 	// Merits are the α_p values (hashing power / stake); nil means
 	// uniform 1/N.
 	Merits []tape.Merit
+	// Faults optionally installs a deterministic partition/fault
+	// schedule on the run's network (see simnet.Schedule): messages
+	// crossing an active cut are deferred to the heal time, or lost
+	// under a permanent cut. Nil means a fault-free network.
+	Faults *simnet.Schedule
+	// RecordFaults enables the network fault-event log, surfaced in
+	// Result.FaultEvents (implied when Faults or an adversary is set).
+	RecordFaults bool
+	// Adversary configures a process-level adversarial strategy
+	// (selfish mining, equivocation, withholding). The zero value is
+	// benign. Protocol simulators that support adversaries wire it;
+	// the others ignore it.
+	Adversary adversary.Config
+}
+
+// ApplyNet installs the common fault knobs on a run's network. Every
+// protocol simulator calls it right after building its replica group.
+func (c *Config) ApplyNet(nw *simnet.Network) {
+	if c.RecordFaults || c.Faults != nil || c.Adversary.Active() {
+		nw.RecordFaults(true)
+	}
+	if c.Faults != nil {
+		nw.SetSchedule(c.Faults)
+	}
+}
+
+// AdversaryWiring is the per-run strategy state shared by the mining
+// protocols (Bitcoin, Ethereum): the resolved adversarial process and
+// the strategy objects driving it. The zero/benign wiring dispatches
+// every process down the honest path.
+type AdversaryWiring struct {
+	cfg     adversary.Config
+	ID      int // adversarial process id (-1 when benign)
+	Selfish *adversary.SelfishMiner
+	Equiv   *adversary.Equivocator
+}
+
+// WireAdversary builds the configured strategy over the run's replica
+// group (benign configs produce inert wiring).
+func (c *Config) WireAdversary(group *replica.Group) *AdversaryWiring {
+	w := &AdversaryWiring{cfg: c.Adversary, ID: -1}
+	if !c.Adversary.Active() {
+		return w
+	}
+	w.ID = c.Adversary.ProcID(c.N)
+	adv := group.Procs[w.ID]
+	switch c.Adversary.Strategy {
+	case adversary.Selfish, adversary.Withhold:
+		w.Selfish = adversary.NewSelfishMiner(adv, group.Net, c.Adversary)
+	case adversary.Equivocate:
+		w.Equiv = adversary.NewEquivocator(adv, group.Net, c.Adversary)
+	}
+	return w
+}
+
+// MineTick runs process p's mining tick under the configured strategy:
+// the selfish miner steps on its private tip, the equivocator floods
+// forged siblings of its mined block, and every other process appends
+// honestly. mint runs the oracle lottery (getToken + consumeToken) on
+// the chosen parent — protocol bookkeeping (mined counters, difficulty
+// retarget epochs) lives inside mint, so it is identical on the honest
+// and adversarial paths.
+func (w *AdversaryWiring) MineTick(p *replica.Process, mint adversary.Mint) {
+	if w.Selfish != nil && p.ID == w.ID {
+		w.Selfish.Step(mint)
+		return
+	}
+	b := mint(p.SelectedHead())
+	if b == nil {
+		return
+	}
+	if w.Equiv != nil && p.ID == w.ID {
+		w.Equiv.FloodSiblings(b)
+		return
+	}
+	p.AppendLocal(b)
+}
+
+// FinishRun flushes a withholding adversary's private branch (the
+// Withhold strategy or ReleaseAtEnd) after the last round. It reports
+// whether a branch was published, in which case the caller must drain
+// the simulator again before the final reads.
+func (w *AdversaryWiring) FinishRun() bool {
+	if w.Selfish == nil || !(w.cfg.ReleaseAtEnd || w.cfg.Strategy == adversary.Withhold) {
+		return false
+	}
+	w.Selfish.Flush()
+	return true
+}
+
+// ExportStats copies the strategy counters into the run's stats map.
+func (w *AdversaryWiring) ExportStats(stats map[string]int) {
+	if w.Selfish != nil {
+		stats["withheld"] = w.Selfish.Withheld
+		stats["releases"] = w.Selfish.Releases
+		stats["abandoned"] = w.Selfish.Abandoned
+	}
+	if w.Equiv != nil {
+		stats["forged"] = w.Equiv.Forged
+	}
 }
 
 // Norm fills defaults and returns the per-process merits normalized so
@@ -93,6 +196,13 @@ type Result struct {
 	PaperCriterion string
 	// Stats carries protocol-specific counters for reports.
 	Stats map[string]int
+	// FaultEvents is the run's recorded fault/adversary event log
+	// (drops, partition cuts and heals, withhold/release decisions);
+	// empty on benign runs without RecordFaults.
+	FaultEvents []simnet.FaultEvent
+	// AdversaryName labels the adversarial strategy of the run ("—"
+	// when benign), for scenario matrices.
+	AdversaryName string
 }
 
 // ComputeForkMax fills MeasuredForkMax from the replica trees.

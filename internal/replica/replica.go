@@ -88,6 +88,13 @@ type Process struct {
 	// OnCommit, if set, runs after a block is attached locally
 	// (protocol layers hook their bookkeeping here).
 	OnCommit func(b *core.Block)
+
+	// Mute, when true, suppresses the send half of AppendLocal: the
+	// block is applied and recorded locally (update event, append op)
+	// but never flooded — the withholding primitive adversarial
+	// strategies (selfish mining, block withholding) are built on.
+	// Publish releases a withheld block later.
+	Mute bool
 }
 
 // NewProcess creates replica id over network nw. The handler for the
@@ -147,10 +154,25 @@ func (p *Process) AppendLocal(b *core.Block) bool {
 	p.Rec.RespondAppend(op, ok, b)
 	if ok {
 		p.Reg.Record(b.ID, p.ID)
-		p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
-		p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
+		if !p.Mute {
+			p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
+			p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
+		}
 	}
 	return ok
+}
+
+// Publish floods a block that was applied locally while Mute was set:
+// the deferred send_i(b_g, b_i) of a withhold-and-release strategy. The
+// block must already be in the local replica; publishing an unknown
+// block is a no-op so strategies cannot desynchronize the R1 invariant.
+func (p *Process) Publish(b *core.Block) bool {
+	if b == nil || !p.tree.Has(b.ID) {
+		return false
+	}
+	p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
+	p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
+	return true
 }
 
 // DeliverCommitted applies an externally committed block (consensus

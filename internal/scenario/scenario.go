@@ -1,0 +1,323 @@
+// Package scenario is the declarative layer over the adversary and
+// fault-injection subsystem: a Spec names one execution — protocol ×
+// synchrony knob × adversary strategy × fault schedule × churn windows ×
+// seed — and Run turns it into a fully checked Outcome (both criterion
+// verdicts, optional k-Fork Coherence, the distinct violated properties
+// with their structured witnesses, and a replay digest).
+//
+// The curated Catalogue pairs benign baselines with the attacks the
+// paper's hierarchy predicts must break each criterion; Matrix renders
+// the resulting violation matrix (cmd/scenarios), and Sweep runs one
+// spec across many seeds in parallel — the first concurrent code in the
+// repository, which is why CI runs this package under -race.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/protocols"
+	"repro/internal/protocols/bitcoin"
+	"repro/internal/protocols/ethereum"
+	"repro/internal/protocols/fabric"
+	"repro/internal/simnet"
+	"repro/internal/tape"
+)
+
+// FaultSpec declares one partition window without committing to a
+// process count (the window is resolved against N at run time).
+type FaultSpec struct {
+	// Kind is "split" (Left vs. the rest) or "eclipse" (Left[0] alone).
+	Kind string
+	// Start and End bound the window; End == simnet.NoHeal (-1) makes
+	// the cut permanent.
+	Start, End int64
+	// Left is the cut-off side: the split's side-0 members, or the
+	// eclipse victim as Left[0].
+	Left []int
+}
+
+// Window resolves the spec for an n-process run.
+func (f FaultSpec) Window(n int) simnet.Window {
+	switch f.Kind {
+	case "eclipse":
+		victim := 0
+		if len(f.Left) > 0 {
+			victim = f.Left[0]
+		}
+		return simnet.EclipseWindow(f.Start, f.End, n, victim)
+	default:
+		return simnet.SplitWindow(f.Start, f.End, n, f.Left)
+	}
+}
+
+// String renders e.g. "split{0 1}[50,200)" or "eclipse{2}[100,∞)".
+func (f FaultSpec) String() string {
+	end := fmt.Sprint(f.End)
+	if f.End == simnet.NoHeal {
+		end = "∞"
+	}
+	return fmt.Sprintf("%s%v[%d,%s)", f.Kind, f.Left, f.Start, end)
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name identifies the scenario in the catalogue and the matrix.
+	Name string
+	// System picks the protocol simulator: "bitcoin", "ethereum" or
+	// "fabric" (the prodigal PoW family and the frugal k=1 family).
+	System string
+	// N, Rounds, Seed, ReadEvery are the common run knobs.
+	N, Rounds int
+	Seed      uint64
+	ReadEvery int64
+	// Delta is the synchrony bound δ (0 = the system's default).
+	Delta int64
+	// Difficulty is the PoW difficulty knob (0 = the system's default).
+	Difficulty float64
+	// Merits skews hashing power / stake (nil = uniform); adversarial
+	// mining power lives here.
+	Merits []tape.Merit
+	// Adversary is the process-level strategy (zero value = benign).
+	Adversary adversary.Config
+	// Faults are the network-level partition/eclipse windows. Churn is
+	// modeled as temporary eclipse windows: a process leaving and
+	// rejoining is exactly a cut that heals (deferred updates flush).
+	Faults []FaultSpec
+	// CheckK, when > 0, additionally checks k-Fork Coherence with this
+	// bound (set it to the frugal oracle's k).
+	CheckK int
+	// ExpectBroken names the properties the paper predicts this
+	// scenario must break (empty for benign baselines). cmd/scenarios
+	// -check and the tests fail when a predicted break goes unmeasured.
+	ExpectBroken []string
+	// Note is the one-line rationale shown with the catalogue.
+	Note string
+}
+
+// Outcome is one fully checked scenario run.
+type Outcome struct {
+	Spec Spec
+	// Seed is the seed actually used (sweeps override Spec.Seed).
+	Seed uint64
+	Res  *protocols.Result
+	// SC and EC are the two criterion verdicts; KFork is the optional
+	// k-Fork Coherence report (nil when Spec.CheckK == 0).
+	SC, EC *consistency.Verdict
+	KFork  *consistency.Report
+	// Violated lists the distinct violated property names, in checking
+	// order; Witnesses maps each to its first structured counterexample.
+	Violated  []string
+	Witnesses map[string]consistency.Witness
+	// Digest is the replay digest: identical for identical (spec, seed).
+	Digest string
+}
+
+// OK reports whether nothing was violated.
+func (o *Outcome) OK() bool { return len(o.Violated) == 0 }
+
+// MissingExpected returns the predicted-broken properties this run did
+// not measure as broken.
+func (o *Outcome) MissingExpected() []string {
+	var out []string
+	for _, want := range o.Spec.ExpectBroken {
+		found := false
+		for _, got := range o.Violated {
+			if got == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, want)
+		}
+	}
+	return out
+}
+
+// buildFaults resolves the fault specs into a schedule (nil when none).
+func (s Spec) buildFaults() *simnet.Schedule {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	sched := &simnet.Schedule{}
+	for _, f := range s.Faults {
+		sched.Windows = append(sched.Windows, f.Window(s.N))
+	}
+	return sched
+}
+
+// common assembles the shared protocol config.
+func (s Spec) common(seed uint64) protocols.Config {
+	return protocols.Config{
+		N:            s.N,
+		Rounds:       s.Rounds,
+		Seed:         seed,
+		ReadEvery:    s.ReadEvery,
+		Merits:       s.Merits,
+		Faults:       s.buildFaults(),
+		RecordFaults: true,
+		Adversary:    s.Adversary,
+	}
+}
+
+// Run executes the scenario with the given seed (0 means Spec.Seed) and
+// checks it. It panics on an unknown System — the catalogue is static
+// and a typo should fail loudly.
+func (s Spec) Run(seed uint64) *Outcome {
+	if seed == 0 {
+		seed = s.Seed
+	}
+	var res *protocols.Result
+	switch s.System {
+	case "bitcoin":
+		cfg := bitcoin.Config{Difficulty: s.Difficulty, Delta: s.Delta}
+		cfg.Config = s.common(seed)
+		res = bitcoin.Run(cfg)
+	case "ethereum":
+		cfg := ethereum.Config{Difficulty: s.Difficulty, Delta: s.Delta}
+		cfg.Config = s.common(seed)
+		res = ethereum.Run(cfg)
+	case "fabric":
+		cfg := fabric.Config{Delta: s.Delta}
+		cfg.Config = s.common(seed)
+		res = fabric.Run(cfg)
+	default:
+		panic(fmt.Sprintf("scenario: unknown system %q", s.System))
+	}
+
+	chk := consistency.NewChecker(res.Score, core.WellFormed{})
+	sc, ec := chk.Classify(res.History)
+	o := &Outcome{Spec: s, Seed: seed, Res: res, SC: sc, EC: ec, Witnesses: map[string]consistency.Witness{}}
+	if s.CheckK > 0 {
+		o.KFork = chk.KForkCoherence(res.History, s.CheckK)
+	}
+
+	reports := map[string]*consistency.Report{}
+	order := []string{}
+	record := func(rep *consistency.Report) {
+		if rep == nil {
+			return
+		}
+		if _, ok := reports[rep.Property]; !ok {
+			reports[rep.Property] = rep
+			order = append(order, rep.Property)
+		}
+	}
+	for _, rep := range sc.Reports {
+		record(rep)
+	}
+	for _, rep := range ec.Reports {
+		record(rep)
+	}
+	record(o.KFork)
+	for _, name := range order {
+		rep := reports[name]
+		if rep.OK {
+			continue
+		}
+		o.Violated = append(o.Violated, name)
+		if len(rep.Witnesses) > 0 {
+			o.Witnesses[name] = rep.Witnesses[0]
+		}
+	}
+	o.Digest = Digest(o)
+	return o
+}
+
+// Digest folds the run — every recorded operation and communication
+// event, every replica tree, the fault log, and all verdicts — into one
+// hash: the byte-identical-replay check of the acceptance criteria. It
+// deliberately mirrors the root determinism test's pipelineDigest and
+// extends it with the fault log.
+func Digest(o *Outcome) string {
+	h := fnv.New64a()
+	io.WriteString(h, o.Res.History.String())
+	for _, op := range o.Res.History.Ops {
+		io.WriteString(h, op.String())
+	}
+	for _, e := range o.Res.History.Comm {
+		io.WriteString(h, e.String())
+	}
+	for _, t := range o.Res.Trees {
+		for _, b := range t.Blocks() {
+			io.WriteString(h, string(b.ID))
+			io.WriteString(h, string(b.Parent))
+		}
+	}
+	for _, e := range o.Res.FaultEvents {
+		io.WriteString(h, e.String())
+	}
+	fmt.Fprintf(h, "SC=%v%v EC=%v%v", o.SC.OK, o.SC.Failing(), o.EC.OK, o.EC.Failing())
+	if o.KFork != nil {
+		fmt.Fprintf(h, " kFC=%v", o.KFork.OK)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Sweep runs the spec across the given seeds with at most workers
+// concurrent runs (workers <= 0 means 4). Outcomes are returned in seed
+// order regardless of completion order, so a sweep is as deterministic
+// as a single run.
+func Sweep(spec Spec, seeds []uint64, workers int) []*Outcome {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([]*Outcome, len(seeds))
+	type job struct {
+		i    int
+		seed uint64
+	}
+	jobs := make(chan job)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range jobs {
+				out[j.i] = spec.Run(j.seed)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i, seed := range seeds {
+		jobs <- job{i, seed}
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}
+
+// SweepSummary aggregates a sweep: how often each property broke.
+func SweepSummary(outs []*Outcome) string {
+	counts := map[string]int{}
+	for _, o := range outs {
+		for _, v := range o.Violated {
+			counts[v]++
+		}
+	}
+	if len(counts) == 0 {
+		return fmt.Sprintf("%d/%d seeds: no property violated", len(outs), len(outs))
+	}
+	props := make([]string, 0, len(counts))
+	for p := range counts {
+		props = append(props, p)
+	}
+	sort.Strings(props)
+	s := ""
+	for i, p := range props {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s %d/%d", p, counts[p], len(outs))
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCatalogueMeasuresPredictedViolations is the acceptance criterion
+// of the adversary subsystem as a test: every scenario measures each
+// violation the paper predicts for it (with a structured witness), the
+// benign baselines violate nothing beyond the inherent PoW fork window,
+// and at least three distinct properties are broken across the
+// catalogue.
+func TestCatalogueMeasuresPredictedViolations(t *testing.T) {
+	distinct := map[string]bool{}
+	for _, spec := range Catalogue() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			o := spec.Run(0)
+			if missing := o.MissingExpected(); len(missing) > 0 {
+				t.Fatalf("predicted violations unmeasured: %v (got %v)", missing, o.Violated)
+			}
+			for _, name := range o.Violated {
+				distinct[name] = true
+				w, ok := o.Witnesses[name]
+				if !ok {
+					t.Fatalf("violated %s without a structured witness", name)
+				}
+				if w.Detail == "" || (len(w.Ops) == 0 && len(w.Blocks) == 0) {
+					t.Fatalf("witness for %s carries no counterexample: %+v", name, w)
+				}
+			}
+			if spec.Name == "fabric/benign" && !o.OK() {
+				t.Fatalf("benign fabric run violated %v", o.Violated)
+			}
+			// EC must survive every healed scenario and fall in the
+			// permanent-cut ones.
+			switch spec.Name {
+			case "bitcoin/partition-noheal", "bitcoin/eclipse":
+				if o.EC.OK {
+					t.Fatal("EC should be violated under a permanent cut")
+				}
+			case "bitcoin/partition-heal", "bitcoin/churn", "bitcoin/selfish":
+				if !o.EC.OK {
+					t.Fatalf("EC should survive %s, violated %v", spec.Name, o.Violated)
+				}
+			}
+		})
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("catalogue breaks only %d distinct properties %v, want ≥ 3", len(distinct), distinct)
+	}
+}
+
+// TestRunIsDeterministic replays one adversarial scenario twice and a
+// third time at another seed: identical (spec, seed) must produce the
+// identical digest, and the digest must depend on the seed.
+func TestRunIsDeterministic(t *testing.T) {
+	spec := *ByName("bitcoin/selfish")
+	a, b := spec.Run(0), spec.Run(0)
+	if a.Digest != b.Digest {
+		t.Fatalf("same spec+seed diverged: %s vs %s", a.Digest, b.Digest)
+	}
+	c := spec.Run(7)
+	if c.Digest == a.Digest {
+		t.Fatalf("different seeds collided on digest %s", a.Digest)
+	}
+}
+
+// TestSweepMatchesSerialRuns checks the parallel sweep runner against
+// serial execution: same outcomes, same order, regardless of workers.
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	spec := *ByName("bitcoin/partition-heal")
+	spec.Rounds = 120 // keep the sweep cheap
+	seeds := []uint64{3, 5, 8, 13, 21}
+
+	var serial []string
+	for _, s := range seeds {
+		serial = append(serial, spec.Run(s).Digest)
+	}
+	par := Sweep(spec, seeds, 4)
+	if len(par) != len(seeds) {
+		t.Fatalf("sweep returned %d outcomes, want %d", len(par), len(seeds))
+	}
+	for i, o := range par {
+		if o.Seed != seeds[i] {
+			t.Fatalf("outcome %d has seed %d, want %d (order must be seed order)", i, o.Seed, seeds[i])
+		}
+		if o.Digest != serial[i] {
+			t.Fatalf("parallel digest %s != serial %s at seed %d", o.Digest, serial[i], seeds[i])
+		}
+	}
+	if got := SweepSummary(par); !strings.Contains(got, "/5") {
+		t.Fatalf("summary should aggregate over 5 seeds: %q", got)
+	}
+}
+
+// TestMatrixRendersWitness smoke-checks the violation matrix rendering.
+func TestMatrixRendersWitness(t *testing.T) {
+	o := ByName("fabric/equivocate").Run(0)
+	m := Matrix([]*Outcome{o})
+	for _, want := range []string{"fabric/equivocate", "1-ForkCoherence", "✗", "└"} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("matrix missing %q:\n%s", want, m)
+		}
+	}
+}

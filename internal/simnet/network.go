@@ -68,6 +68,14 @@ type Network struct {
 	fifo    bool
 	lastOut map[[2]int]int64
 
+	// sched, when set, is the deterministic partition/fault schedule:
+	// messages crossing an active cut are deferred to the heal time (or
+	// lost under a permanent cut). faultLog records fault events when
+	// logFaults is on (see faults.go).
+	sched     *Schedule
+	faultLog  []FaultEvent
+	logFaults bool
+
 	sent, delivered, dropped int
 }
 
@@ -126,20 +134,60 @@ func (nw *Network) Send(from, to int, payload any) {
 	nw.sent++
 	if from != to && nw.drop(m) {
 		nw.dropped++
+		if nw.logFaults {
+			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "drop", From: from, To: to})
+		}
 		return
 	}
 	var d int64
 	if from != to {
 		d = nw.delay.Delay(nw.sim.rng, nw.sim.Now(), from, to)
 	}
-	if nw.fifo && from != to {
+	if from != to && (nw.sched != nil || nw.fifo) {
+		// Resolve the delivery time against the fault schedule and the
+		// FIFO no-overtake rule together: a FIFO bump can push the
+		// message back inside a later cut window (and a heal-time flush
+		// can collide with the link's last scheduled delivery), so the
+		// two constraints iterate to a fixed point. Each schedule
+		// deferral jumps to a window end and each FIFO bump moves
+		// forward past lastOut, so the loop terminates after at most
+		// one pass per window.
+		now := nw.sim.Now()
+		at := now + d
 		link := [2]int{from, to}
-		at := nw.sim.Now() + d
-		if prev := nw.lastOut[link]; at <= prev {
-			at = prev + 1
-			d = at - nw.sim.Now()
+		for {
+			if nw.sched != nil {
+				resolved, ok := nw.sched.DeliveryTime(at, from, to)
+				if !ok {
+					nw.dropped++
+					if nw.logFaults {
+						nw.faultLog = append(nw.faultLog, FaultEvent{Time: now, Kind: "partloss", From: from, To: to})
+					}
+					return
+				}
+				if resolved != at {
+					at = resolved
+					continue
+				}
+			}
+			if nw.fifo {
+				if prev := nw.lastOut[link]; at <= prev {
+					at = prev + 1
+					continue
+				}
+			}
+			break
 		}
-		nw.lastOut[link] = at
+		if nw.logFaults && nw.sched != nil && nw.sched.Cut(now+d, from, to) {
+			nw.faultLog = append(nw.faultLog, FaultEvent{
+				Time: now, Kind: "defer", From: from, To: to,
+				Detail: fmt.Sprintf("until %d", at),
+			})
+		}
+		if nw.fifo {
+			nw.lastOut[link] = at
+		}
+		d = at - now
 	}
 	// Flat delivery event: the message rides in the heap entry itself,
 	// so the hot send path performs no closure or node allocation.
