@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesStayOutsideInternal enforces the public-API boundary: no
+// package under examples/ may import repro/internal/... directly —
+// examples are written against repro/btsim, which is what an external
+// consumer of the module can use. (Transitive dependencies via btsim
+// are fine; the check is on the examples' own import lists.)
+func TestExamplesStayOutsideInternal(t *testing.T) {
+	out, err := exec.Command("go", "list", "-json=ImportPath,Imports", "./examples/...").Output()
+	if err != nil {
+		var stderr []byte
+		if ee, ok := err.(*exec.ExitError); ok {
+			stderr = ee.Stderr
+		}
+		t.Fatalf("go list ./examples/...: %v\n%s", err, stderr)
+	}
+
+	type pkg struct {
+		ImportPath string
+		Imports    []string
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	checked := 0
+	for dec.More() {
+		var p pkg
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		checked++
+		for _, imp := range p.Imports {
+			if strings.HasPrefix(imp, "repro/internal") {
+				t.Errorf("%s imports %s — examples must use the public repro/btsim API", p.ImportPath, imp)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d example packages found, want ≥ 5 (did the examples move?)", checked)
+	}
+}

@@ -1,0 +1,115 @@
+// Package btsim is the public face of the repository: one uniform way
+// to run, observe and check every blockchain system the paper's Section
+// 5 maps onto the BlockTree abstract data type.
+//
+// The paper's whole point is that Bitcoin, Ethereum, ByzCoin, Algorand,
+// PeerCensus, Red Belly and Hyperledger Fabric are instances of *one*
+// abstraction — a BT-ADT refined by a token oracle — so the API treats
+// them as instances of one interface:
+//
+//   - System is a registered protocol simulator: a Name, an Info
+//     describing the oracle family and consistency criterion the paper
+//     claims for it, and a Run that executes a deterministic
+//     discrete-event simulation and returns the recorded Result.
+//   - Each protocol package registers itself in its init (Register);
+//     Systems, Names and Lookup expose the registry. Importing
+//     repro/btsim/systems for side effects registers the built-in seven.
+//   - Run options are functional: WithN, WithRounds, WithSeed,
+//     WithDelta, WithDifficulty, WithMerits, WithFaults, WithAdversary,
+//     WithObserver and friends replace the per-protocol config structs.
+//   - Result carries the recorded history, the per-process replica
+//     trees and the fault/adversary event log, plus checker access
+//     (Check, KFork, UpdateAgreement) and a replay Digest: identical
+//     (system, options, seed) triples produce identical digests.
+//
+// A minimal run:
+//
+//	res, err := btsim.Run("bitcoin",
+//		btsim.WithN(4), btsim.WithRounds(300), btsim.WithSeed(42),
+//		btsim.WithDifficulty(10))
+//	if err != nil { ... }
+//	sc, ec := res.Check()
+//	fmt.Println(res, sc, ec)
+//
+// Adding a new system to the whole stack — scenarios, experiments,
+// Table 1, the cmd tools — is one package with one Register call.
+package btsim
+
+import "fmt"
+
+// Info describes a registered system: the paper's claims, which the
+// checkers then measure rather than assume.
+type Info struct {
+	// Name is the registry key, lower-case ("bitcoin", "fabric", ...).
+	Name string
+	// Section is the paper section the mapping comes from ("5.1"…);
+	// Systems() lists in section order.
+	Section string
+	// Oracle is the claimed oracle family ("ΘP", "ΘF,k=1", ...).
+	Oracle string
+	// K is the claimed oracle fork bound: 0 means unbounded (the
+	// prodigal oracle ΘP), k ≥ 1 means the frugal oracle ΘF,k.
+	K int
+	// Criterion is the paper's Table 1 consistency class for the
+	// system: "EC", "SC" or "SC w.h.p.".
+	Criterion string
+	// Synopsis is a one-line description for listings.
+	Synopsis string
+}
+
+// System is one runnable protocol simulator.
+type System interface {
+	// Name returns the registry key.
+	Name() string
+	// Info returns the system descriptor (oracle family, claimed
+	// criterion, paper section).
+	Info() Info
+	// Run executes one deterministic simulation under the given
+	// configuration and returns the fully recorded result.
+	Run(cfg Config) (*Result, error)
+}
+
+// RunFunc is the adapter a protocol package registers: it lowers the
+// public Config onto the package's own knobs and executes the run.
+type RunFunc func(cfg Config) (*Result, error)
+
+// sysFunc is the System implementation NewSystem returns.
+type sysFunc struct {
+	info Info
+	run  RunFunc
+}
+
+func (s *sysFunc) Name() string { return s.info.Name }
+func (s *sysFunc) Info() Info   { return s.info }
+
+func (s *sysFunc) Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
+	}
+	cfg.system = s.info.Name
+	res, err := s.run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
+	}
+	res.Info = s.info
+	return res, nil
+}
+
+// NewSystem builds a System from a descriptor and a run adapter; every
+// protocol package calls it inside Register in its init. The returned
+// system validates the Config before invoking run and stamps the Info
+// onto the Result after it.
+func NewSystem(info Info, run RunFunc) System {
+	return &sysFunc{info: info, run: run}
+}
+
+// Run looks up a registered system by name and runs it — the one-call
+// entry point. Unknown names return an error listing the registered
+// options.
+func Run(system string, opts ...Option) (*Result, error) {
+	sys, err := Get(system)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run(NewConfig(opts...))
+}

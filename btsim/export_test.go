@@ -1,0 +1,6 @@
+package btsim
+
+// Unregister removes a registry entry; tests that register throwaway
+// systems clean up with it so the global registry stays the built-in
+// seven for every other test.
+func Unregister(name string) { unregister(name) }

@@ -1,0 +1,313 @@
+package btsim
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols"
+	"repro/internal/simnet"
+	"repro/internal/tape"
+)
+
+// NoHeal, as a Fault.End value, makes the cut permanent: messages
+// crossing it are lost instead of deferred (mirrors simnet.NoHeal).
+const NoHeal int64 = -1
+
+// The process-level adversarial strategies (Adversary.Strategy). The
+// empty string is benign.
+const (
+	// Selfish is withhold-and-release selfish mining: mine privately,
+	// publish when the honest chain gets within Lead of the private tip.
+	Selfish = "selfish"
+	// Withhold is pure block withholding: mine privately, publish only
+	// at the end of the run — the maximal-reorg variant of Selfish.
+	Withhold = "withhold"
+	// Equivocate is fork flooding: every block the adversary produces
+	// is accompanied by forged siblings reusing the same oracle token.
+	Equivocate = "equivocate"
+)
+
+// Adversary declares a process-level adversarial strategy for a run.
+// The zero value is benign. Systems that support adversaries wire it
+// (the PoW miners and fabric's orderer); the others ignore it.
+type Adversary struct {
+	// Strategy is one of Selfish, Withhold, Equivocate or "" (benign).
+	Strategy string
+	// Proc is the adversarial process id; 0 or out of range means the
+	// last process. Systems with a distinguished role (fabric's
+	// orderer) pin the id themselves.
+	Proc int
+	// Lead is the selfish-mining release threshold (0 means 1).
+	Lead int
+	// Forks is the equivocation width (0 means 2).
+	Forks int
+	// ReleaseAtEnd flushes a still-withheld private chain after the
+	// last round, before the final read batch.
+	ReleaseAtEnd bool
+}
+
+// Fault declares one network partition window without committing to a
+// process count; it is resolved against the run's N at start time.
+type Fault struct {
+	// Kind is "split" (Left vs. the rest; the default) or "eclipse"
+	// (Left[0] cut off alone).
+	Kind string
+	// Start and End bound the window; End == NoHeal makes the cut
+	// permanent (cross-cut messages are lost, not deferred).
+	Start, End int64
+	// Left is the cut-off side: the split's side-0 members, or the
+	// eclipse victim as Left[0].
+	Left []int
+}
+
+// window resolves the fault for an n-process run.
+func (f Fault) window(n int) simnet.Window {
+	switch f.Kind {
+	case "eclipse":
+		victim := 0
+		if len(f.Left) > 0 {
+			victim = f.Left[0]
+		}
+		return simnet.EclipseWindow(f.Start, f.End, n, victim)
+	default:
+		return simnet.SplitWindow(f.Start, f.End, n, f.Left)
+	}
+}
+
+// String renders e.g. "split[0 1][50,200)" or "eclipse[2][100,∞)".
+func (f Fault) String() string {
+	end := fmt.Sprint(f.End)
+	if f.End == NoHeal {
+		end = "∞"
+	}
+	kind := f.Kind
+	if kind == "" {
+		kind = "split"
+	}
+	return fmt.Sprintf("%s%v[%d,%s)", kind, f.Left, f.Start, end)
+}
+
+// Drop declares deterministic message loss: the Nth message (0-based)
+// addressed to process To is dropped; To < 0 matches every message.
+// This is the paper's Theorem 4.6/4.7 instrument — even a single lost
+// update message breaks Eventual Prefix.
+type Drop struct {
+	Nth, To int
+}
+
+// Progress is what a WithObserver callback sees once per protocol
+// round, before the round's block production.
+type Progress struct {
+	// System is the registered system name.
+	System string
+	// Round is the current protocol round (tick / height); Rounds is
+	// the effective total (the default is substituted when the run
+	// was configured with 0), so p.Round/p.Rounds is always sound.
+	Round, Rounds int
+	// Now is the simulator's virtual time.
+	Now int64
+}
+
+// Config is the uniform knob set every registered system runs under,
+// normally assembled through the With* functional options. Knobs a
+// system has no use for are ignored (difficulty on a BFT chain, say);
+// the conformance suite pins which knobs are observable where.
+type Config struct {
+	// N is the number of processes (0 means 4).
+	N int
+	// Rounds is the number of protocol rounds — ticks or heights
+	// (0 means 50).
+	Rounds int
+	// Seed drives all randomness; identical (system, Config) pairs
+	// replay identical runs.
+	Seed uint64
+	// ReadEvery schedules a read() at every process each ReadEvery
+	// virtual-time units (0 means 10).
+	ReadEvery int64
+	// Delta is the synchronous network delay bound δ (0 = the
+	// system's default).
+	Delta int64
+	// Difficulty is the PoW difficulty knob of the prodigal-oracle
+	// miners (0 = the system's default).
+	Difficulty float64
+	// Merits are the per-process α_p values — hashing power or stake,
+	// normalized by the run so Σ α_p = 1. Nil means uniform.
+	Merits []float64
+	// Faults are network-level partition/eclipse windows. Churn is a
+	// special case: a process leaving and rejoining is exactly an
+	// eclipse window that heals.
+	Faults []Fault
+	// Adversary is the process-level strategy (zero value = benign).
+	Adversary Adversary
+	// Drop optionally injects deterministic message loss (PoW systems).
+	Drop *Drop
+	// Observer, when set, is called once per protocol round; returning
+	// false stops block production early (the run still drains in-flight
+	// messages and takes its final reads).
+	Observer func(Progress) bool
+	// FaultLog forces the network fault-event log on even for benign
+	// runs (it is implied whenever Faults or an Adversary is set).
+	FaultLog bool
+
+	// system is stamped by System.Run before the adapter sees the
+	// Config, so Base can label Progress events.
+	system string
+}
+
+// Option mutates a Config; build one with NewConfig or pass options
+// directly to Run.
+type Option func(*Config)
+
+// NewConfig assembles a Config from functional options.
+func NewConfig(opts ...Option) Config {
+	var c Config
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&c)
+		}
+	}
+	return c
+}
+
+// WithN sets the number of processes.
+func WithN(n int) Option { return func(c *Config) { c.N = n } }
+
+// WithRounds sets the number of protocol rounds (ticks / heights).
+func WithRounds(r int) Option { return func(c *Config) { c.Rounds = r } }
+
+// WithSeed sets the seed driving all randomness.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithReadEvery sets the periodic read interval in virtual time.
+func WithReadEvery(every int64) Option { return func(c *Config) { c.ReadEvery = every } }
+
+// WithDelta sets the synchronous delay bound δ.
+func WithDelta(delta int64) Option { return func(c *Config) { c.Delta = delta } }
+
+// WithDifficulty sets the PoW difficulty of the prodigal-oracle miners.
+func WithDifficulty(d float64) Option { return func(c *Config) { c.Difficulty = d } }
+
+// WithMerits sets the per-process merit vector (hashing power / stake).
+func WithMerits(merits ...float64) Option {
+	return func(c *Config) { c.Merits = merits }
+}
+
+// WithFaults installs the run's network partition/eclipse windows.
+// Like every other option it is last-wins: a later WithFaults replaces
+// an earlier one (pass all windows in one call).
+func WithFaults(faults ...Fault) Option {
+	return func(c *Config) { c.Faults = faults }
+}
+
+// WithAdversary installs a process-level adversarial strategy.
+func WithAdversary(a Adversary) Option { return func(c *Config) { c.Adversary = a } }
+
+// WithDropNth drops the nth message (0-based) addressed to process to;
+// to < 0 drops the nth message overall.
+func WithDropNth(nth, to int) Option {
+	return func(c *Config) { c.Drop = &Drop{Nth: nth, To: to} }
+}
+
+// WithObserver installs a per-round progress callback; returning false
+// stops block production early.
+func WithObserver(fn func(Progress) bool) Option { return func(c *Config) { c.Observer = fn } }
+
+// WithFaultLog forces the fault-event log on (implied by WithFaults and
+// WithAdversary).
+func WithFaultLog(on bool) Option { return func(c *Config) { c.FaultLog = on } }
+
+// validate rejects configurations no system can run.
+func (c Config) validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("negative N %d", c.N)
+	}
+	if c.Rounds < 0 {
+		return fmt.Errorf("negative Rounds %d", c.Rounds)
+	}
+	switch c.Adversary.Strategy {
+	case "", Selfish, Withhold, Equivocate:
+	default:
+		return fmt.Errorf("unknown adversary strategy %q (known: %s, %s, %s)",
+			c.Adversary.Strategy, Selfish, Withhold, Equivocate)
+	}
+	for _, m := range c.Merits {
+		if m < 0 {
+			return fmt.Errorf("negative merit %v", m)
+		}
+	}
+	for _, f := range c.Faults {
+		switch f.Kind {
+		case "", "split", "eclipse":
+		default:
+			return fmt.Errorf("unknown fault kind %q (known: split, eclipse)", f.Kind)
+		}
+		if f.End != NoHeal && f.End < f.Start {
+			return fmt.Errorf("fault %s ends before it starts", f)
+		}
+	}
+	return nil
+}
+
+// Base lowers the public knob set onto the shared internal protocol
+// config. Register adapters call it inside their run functions; the
+// Config has already been validated by System.Run.
+func (c Config) Base() protocols.Config {
+	pc := protocols.Config{
+		N:            c.N,
+		Rounds:       c.Rounds,
+		Seed:         c.Seed,
+		ReadEvery:    c.ReadEvery,
+		RecordFaults: c.FaultLog,
+		Adversary: adversary.Config{
+			Strategy:     adversary.Strategy(c.Adversary.Strategy),
+			Proc:         c.Adversary.Proc,
+			Lead:         c.Adversary.Lead,
+			Forks:        c.Adversary.Forks,
+			ReleaseAtEnd: c.Adversary.ReleaseAtEnd,
+		},
+	}
+	if len(c.Merits) > 0 {
+		pc.Merits = make([]tape.Merit, len(c.Merits))
+		for i, m := range c.Merits {
+			pc.Merits[i] = tape.Merit(m)
+		}
+	}
+	if len(c.Faults) > 0 {
+		n := c.N
+		if n <= 0 {
+			n = 4 // protocols.Config.Norm's default
+		}
+		sched := &simnet.Schedule{}
+		for _, f := range c.Faults {
+			sched.Windows = append(sched.Windows, f.window(n))
+		}
+		pc.Faults = sched
+	}
+	if c.Observer != nil {
+		obs, system := c.Observer, c.system
+		// Progress reports the effective round count: 0 means the
+		// shared default (protocols.Config.Norm), so observers can
+		// guard on p.Round < p.Rounds and compute percentages.
+		rounds := c.Rounds
+		if rounds <= 0 {
+			rounds = 50
+		}
+		pc.Observer = func(round int, now int64) bool {
+			return obs(Progress{System: system, Round: round, Rounds: rounds, Now: now})
+		}
+	}
+	return pc
+}
+
+// DropRule lowers the Drop spec to the simnet rule the PoW adapters
+// install (nil when no loss is configured).
+func (c Config) DropRule() simnet.DropRule {
+	if c.Drop == nil {
+		return nil
+	}
+	inner := simnet.DropRule(nil)
+	if c.Drop.To >= 0 {
+		inner = simnet.DropToProcess(c.Drop.To)
+	}
+	return simnet.DropNth(c.Drop.Nth, inner)
+}

@@ -1,0 +1,95 @@
+package btsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+// Result is one fully recorded run of a registered system. It embeds
+// the internal run record, so every consumer in this module reaches the
+// recorded history, the per-process replica trees, the protocol stats
+// and the fault/adversary event log directly; external users work
+// through the methods below, which cover the common read paths without
+// naming any internal type.
+type Result struct {
+	*protocols.Result
+	// Info is the descriptor of the system that produced the run.
+	Info Info
+}
+
+// Check classifies the recorded history against both consistency
+// criteria: BT Strong Consistency and BT Eventual Consistency. The
+// verdicts carry the per-property reports and counterexample witnesses;
+// their String renderings are print-ready.
+func (r *Result) Check() (sc, ec *consistency.Verdict) {
+	return r.checker().Classify(r.History)
+}
+
+// KFork checks k-Fork Coherence — no oracle token reused more than k
+// times — the measured side of the frugal-oracle claim.
+func (r *Result) KFork(k int) *consistency.Report {
+	return r.checker().KForkCoherence(r.History, k)
+}
+
+// UpdateAgreement checks the R1–R3 communication properties of the
+// recorded run (Definition 4.2).
+func (r *Result) UpdateAgreement() *consistency.Report {
+	return consistency.UpdateAgreement(r.History, r.Creators)
+}
+
+// MonotonicPrefix checks the Monotonic Prefix Consistency criterion of
+// the paper's reference [20] — each process's successive reads only
+// ever extend — positioned between EC and SC in the hierarchy.
+func (r *Result) MonotonicPrefix() *consistency.Report {
+	return r.checker().MonotonicPrefix(r.History)
+}
+
+// Chain returns the chain the system's own selection function f picks
+// from the given replica's final BlockTree.
+func (r *Result) Chain(replica int) core.Chain {
+	if replica < 0 || replica >= len(r.Trees) {
+		return nil
+	}
+	return r.Selector.Select(r.Trees[replica])
+}
+
+func (r *Result) checker() *consistency.Checker {
+	return consistency.NewChecker(r.Score, core.WellFormed{})
+}
+
+// DigestInto folds the run's replayable content — the history header,
+// every recorded operation (with its returned chain) and communication
+// event, every replica tree, and the fault/adversary event log — into
+// w, in a fixed order shared with the scenario layer's pinned digests.
+func (r *Result) DigestInto(w io.Writer) {
+	io.WriteString(w, r.History.String())
+	for _, op := range r.History.Ops {
+		io.WriteString(w, op.String())
+	}
+	for _, e := range r.History.Comm {
+		io.WriteString(w, e.String())
+	}
+	for _, t := range r.Trees {
+		for _, b := range t.Blocks() {
+			io.WriteString(w, string(b.ID))
+			io.WriteString(w, string(b.Parent))
+		}
+	}
+	for _, e := range r.FaultEvents {
+		io.WriteString(w, e.String())
+	}
+}
+
+// Digest is the replay digest: identical (system, options, seed)
+// runs produce identical digests, and any divergence in the recorded
+// history, trees or fault log changes it.
+func (r *Result) Digest() string {
+	h := fnv.New64a()
+	r.DigestInto(h)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

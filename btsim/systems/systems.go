@@ -1,0 +1,21 @@
+// Package systems registers the built-in protocol simulators — the
+// seven blockchain systems of the paper's Section 5 — with the public
+// btsim registry. Import it for side effects:
+//
+//	import _ "repro/btsim/systems"
+//
+// After the import, btsim.Systems() lists all seven and btsim.Run can
+// execute any of them by name. A new system does not need to be listed
+// here: any package calling btsim.Register in its init participates the
+// moment it is imported.
+package systems
+
+import (
+	_ "repro/internal/protocols/algorand"   // §5.4 — ΘF,k=1 w.h.p.
+	_ "repro/internal/protocols/bitcoin"    // §5.1 — ΘP, longest chain
+	_ "repro/internal/protocols/byzcoin"    // §5.3 — ΘF,k=1
+	_ "repro/internal/protocols/ethereum"   // §5.2 — ΘP, GHOST
+	_ "repro/internal/protocols/fabric"     // §5.7 — ΘF,k=1
+	_ "repro/internal/protocols/peercensus" // §5.5 — ΘF,k=1
+	_ "repro/internal/protocols/redbelly"   // §5.6 — ΘF,k=1
+)

@@ -4,12 +4,14 @@
 // verdicts with their counterexample witnesses, and — for adversarial
 // runs — the fault timeline (drops, partition cuts/heals, withheld and
 // released blocks). It can render the three built-in paper histories, a
-// fresh protocol run, or any scenario of the adversarial catalogue
-// (e.g. "bitcoin/selfish", "fabric/equivocate"; see cmd/scenarios).
+// fresh demo run of any system registered with the public btsim
+// registry ("bitcoin", "byzcoin", "fabric", ...), or any scenario of
+// the adversarial catalogue (e.g. "bitcoin/selfish",
+// "fabric/equivocate"; see cmd/scenarios -list).
 //
 // Usage:
 //
-//	historyviz [-seed N] [fig2|fig3|fig4|bitcoin|fabric|<scenario-name>]
+//	historyviz [-seed N] [fig2|fig3|fig4|<system-name>|<scenario-name>]
 package main
 
 import (
@@ -19,13 +21,11 @@ import (
 	"sort"
 	"strings"
 
+	"repro/btsim"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/history"
-	"repro/internal/protocols"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/protocols/fabric"
 	"repro/internal/scenario"
 )
 
@@ -42,36 +42,30 @@ func main() {
 		e := experiments.ByID(which)
 		res := e.Run(*seed)
 		fmt.Print(res)
-	case "bitcoin":
-		cfg := bitcoin.Config{}
-		cfg.N = 3
-		cfg.Rounds = 60
-		cfg.Seed = *seed
-		cfg.ReadEvery = 10
-		cfg.Difficulty = 6
-		render(bitcoin.Run(cfg))
-		return
-	case "fabric":
-		cfg := fabric.Config{}
-		cfg.N = 3
-		cfg.Rounds = 20
-		cfg.Seed = *seed
-		cfg.ReadEvery = 10
-		render(fabric.Run(cfg))
-		return
 	default:
 		if spec := scenario.ByName(which); spec != nil {
-			var o *scenario.Outcome
+			runSeed := uint64(0) // pinned catalogue seed
 			if *seed != 42 {
-				o = spec.Run(*seed)
-			} else {
-				o = spec.Run(0) // pinned catalogue seed
+				runSeed = *seed
+			}
+			o, err := spec.Run(runSeed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "historyviz:", err)
+				os.Exit(2)
 			}
 			fmt.Printf("scenario %s (seed %d, digest %s): %s\n\n", spec.Name, o.Seed, o.Digest, spec.Note)
 			render(o.Res)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "historyviz: unknown target %q (fig2|fig3|fig4|bitcoin|fabric|<scenario>)\n", which)
+		if sys, ok := btsim.Lookup(which); ok {
+			render(demoRun(sys, *seed))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "historyviz: unknown target %q (fig2|fig3|fig4|<system>|<scenario>)\n", which)
+		fmt.Fprintln(os.Stderr, "systems:")
+		for _, name := range btsim.Names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
 		fmt.Fprintln(os.Stderr, "scenarios:")
 		for _, s := range scenario.Catalogue() {
 			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
@@ -80,8 +74,26 @@ func main() {
 	}
 }
 
+// demoRun produces a small render-friendly run of a registered system:
+// few processes, short horizon, PoW difficulty tuned so the tree shows
+// visible (transient) forks.
+func demoRun(sys btsim.System, seed uint64) *btsim.Result {
+	opts := []btsim.Option{btsim.WithSeed(seed), btsim.WithReadEvery(10)}
+	if sys.Info().K == 0 {
+		opts = append(opts, btsim.WithN(3), btsim.WithRounds(60), btsim.WithDifficulty(6))
+	} else {
+		opts = append(opts, btsim.WithN(4), btsim.WithRounds(20))
+	}
+	res, err := sys.Run(btsim.NewConfig(opts...))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "historyviz:", err)
+		os.Exit(2)
+	}
+	return res
+}
+
 // render draws the per-process read timelines and the final tree.
-func render(res *protocols.Result) {
+func render(res *btsim.Result) {
 	fmt.Printf("=== %s — %s, f = %s ===\n", res.System, res.History, res.Selector.Name())
 
 	byProc := map[int][]*history.Op{}
@@ -121,7 +133,7 @@ func render(res *protocols.Result) {
 // adversary's withhold/release/equivocate decisions as individual
 // events, with the (potentially numerous) per-message drop/defer events
 // summarized into counts.
-func renderFaults(res *protocols.Result) {
+func renderFaults(res *btsim.Result) {
 	if len(res.FaultEvents) == 0 {
 		return
 	}

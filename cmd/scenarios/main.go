@@ -6,14 +6,19 @@
 // hierarchy: benign baselines hold, and each predicted-breakable
 // criterion is broken by a concrete measured execution.
 //
+// Scenario dispatch goes through the public btsim registry, so every
+// registered system is scenario-able; -list shows both the catalogue
+// and the registry.
+//
 // Usage:
 //
-//	scenarios [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check]
+//	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check]
 //
-// -seed overrides every pinned seed; -sweep K re-runs each scenario at K
-// consecutive seeds (parallel, first concurrent path in the repo) and
-// reports how often each property broke; -check exits non-zero when a
-// scenario fails to measure a violation the paper predicts (CI smoke).
+// -list prints the catalogue and the registered systems; -seed
+// overrides every pinned seed; -sweep K re-runs each scenario at K
+// consecutive seeds (parallel) and reports how often each property
+// broke; -check exits non-zero when a scenario fails to measure a
+// violation the paper predicts (CI smoke).
 package main
 
 import (
@@ -22,10 +27,12 @@ import (
 	"os"
 	"strings"
 
+	"repro/btsim"
 	"repro/internal/scenario"
 )
 
 func main() {
+	list := flag.Bool("list", false, "list the catalogue and the registered systems, then exit")
 	only := flag.String("only", "", "run only scenarios whose name contains this substring")
 	seed := flag.Uint64("seed", 0, "override the pinned per-scenario seeds (0 keeps them)")
 	sweep := flag.Int("sweep", 0, "additionally sweep each scenario across K consecutive seeds")
@@ -34,13 +41,22 @@ func main() {
 	check := flag.Bool("check", false, "exit 1 if a predicted violation goes unmeasured")
 	flag.Parse()
 
+	if *list {
+		printList()
+		return
+	}
+
 	var outs []*scenario.Outcome
 	failed := false
 	for _, spec := range scenario.Catalogue() {
 		if *only != "" && !strings.Contains(spec.Name, *only) {
 			continue
 		}
-		o := spec.Run(*seed)
+		o, err := spec.Run(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(2)
+		}
 		outs = append(outs, o)
 		if missing := o.MissingExpected(); len(missing) > 0 {
 			failed = true
@@ -89,12 +105,35 @@ func main() {
 			for i := range seeds {
 				seeds[i] = o.Seed + uint64(i)
 			}
-			res := scenario.Sweep(o.Spec, seeds, *workers)
+			res, err := scenario.Sweep(o.Spec, seeds, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios:", err)
+				os.Exit(2)
+			}
 			fmt.Printf("%-26s %s\n", o.Spec.Name, scenario.SweepSummary(res))
 		}
 	}
 
 	if *check && failed {
 		os.Exit(1)
+	}
+}
+
+// printList renders the catalogue and the btsim registry: what can run,
+// and what it runs on.
+func printList() {
+	fmt.Println("registered systems (btsim registry — any name is scenario-able):")
+	for _, sys := range btsim.Systems() {
+		info := sys.Info()
+		fmt.Printf("  %-11s §%-4s %-16s %-10s %s\n",
+			info.Name, info.Section, info.Oracle, info.Criterion, info.Synopsis)
+	}
+	fmt.Println("\ncurated catalogue:")
+	for _, s := range scenario.Catalogue() {
+		expect := "baseline"
+		if len(s.ExpectBroken) > 0 {
+			expect = "breaks " + strings.Join(s.ExpectBroken, ",")
+		}
+		fmt.Printf("  %-26s %-11s %-34s %s\n", s.Name, s.System, expect, s.Note)
 	}
 }

@@ -3,16 +3,12 @@ package repro
 import (
 	"fmt"
 	"hash/fnv"
-	"io"
 	"testing"
 
+	"repro/btsim"
 	"repro/internal/benchsuite"
 	"repro/internal/consistency"
-	"repro/internal/protocols"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/protocols/ethereum"
 	"repro/internal/scenario"
-	"repro/internal/simnet"
 )
 
 // pipelineDigest folds a full protocol run — every recorded operation
@@ -21,22 +17,13 @@ import (
 // values below were captured before the pipeline performance pass
 // (closure-heap scheduler, copied chain reads, multi-pass checkers) and
 // pin that the rewritten pipeline replays byte-identical histories and
-// verdicts for fixed seeds.
-func pipelineDigest(res *protocols.Result) string {
+// verdicts for fixed seeds. Since the btsim API redesign the runs go
+// through the public registry + functional options, so the same pinned
+// values also prove the option-based dispatch is behavior-preserving
+// against the original per-protocol config structs.
+func pipelineDigest(res *btsim.Result) string {
 	h := fnv.New64a()
-	io.WriteString(h, res.History.String())
-	for _, op := range res.History.Ops {
-		io.WriteString(h, op.String())
-	}
-	for _, e := range res.History.Comm {
-		io.WriteString(h, e.String())
-	}
-	for _, t := range res.Trees {
-		for _, b := range t.Blocks() {
-			io.WriteString(h, string(b.ID))
-			io.WriteString(h, string(b.Parent))
-		}
-	}
+	res.DigestInto(h)
 	chk := consistency.NewChecker(res.Score, nil)
 	sc, ec := chk.Classify(res.History)
 	fmt.Fprintf(h, "SC=%v%v EC=%v%v", sc.OK, sc.Failing(), ec.OK, ec.Failing())
@@ -49,42 +36,32 @@ func pipelineDigest(res *protocols.Result) string {
 // and compares against digests recorded from the pre-rewrite pipeline.
 func TestPipelineDeterminismPinned(t *testing.T) {
 	runs := []struct {
-		name string
-		want string
-		run  func() *protocols.Result
+		name   string
+		want   string
+		system string
+		opts   []btsim.Option
 	}{
-		{"bitcoin-seed1", "6e285a33a4969092", func() *protocols.Result {
-			cfg := bitcoin.Config{}
-			cfg.N = 4
-			cfg.Rounds = 120
-			cfg.Seed = 1
-			cfg.ReadEvery = 15
-			cfg.Difficulty = 5
-			return bitcoin.Run(cfg)
+		{"bitcoin-seed1", "6e285a33a4969092", "bitcoin", []btsim.Option{
+			btsim.WithN(4), btsim.WithRounds(120), btsim.WithSeed(1),
+			btsim.WithReadEvery(15), btsim.WithDifficulty(5),
 		}},
-		{"bitcoin-drop-seed9", "3a874a69fa33c8b7", func() *protocols.Result {
-			cfg := bitcoin.Config{}
-			cfg.N = 4
-			cfg.Rounds = 120
-			cfg.Seed = 9
-			cfg.ReadEvery = 15
-			cfg.Difficulty = 5
-			cfg.DropRule = simnet.DropNth(3, simnet.DropToProcess(2))
-			return bitcoin.Run(cfg)
+		{"bitcoin-drop-seed9", "3a874a69fa33c8b7", "bitcoin", []btsim.Option{
+			btsim.WithN(4), btsim.WithRounds(120), btsim.WithSeed(9),
+			btsim.WithReadEvery(15), btsim.WithDifficulty(5),
+			btsim.WithDropNth(3, 2),
 		}},
-		{"ethereum-seed7", "20447fd3bd895c9b", func() *protocols.Result {
-			cfg := ethereum.Config{Difficulty: 4}
-			cfg.N = 4
-			cfg.Rounds = 60
-			cfg.Seed = 7
-			cfg.ReadEvery = 10
-			return ethereum.Run(cfg)
+		{"ethereum-seed7", "20447fd3bd895c9b", "ethereum", []btsim.Option{
+			btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(7),
+			btsim.WithReadEvery(10), btsim.WithDifficulty(4),
 		}},
 	}
 	for _, r := range runs {
 		t.Run(r.name, func(t *testing.T) {
-			got := pipelineDigest(r.run())
-			if got != r.want {
+			res, err := btsim.Run(r.system, r.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pipelineDigest(res); got != r.want {
 				t.Fatalf("pipeline digest changed: got %s, want %s (fixed-seed histories/trees/verdicts must be identical)", got, r.want)
 			}
 		})
@@ -121,6 +98,10 @@ func TestScenarioDigestsPinned(t *testing.T) {
 	want := map[string]string{
 		"bitcoin/benign":           "7e7efa79e80e836e",
 		"fabric/benign":            "e3cc195680f21dd9",
+		"byzcoin/benign":           "8bbf59235ba8fdae",
+		"algorand/benign":          "1aebd9dadd5c20df",
+		"peercensus/benign":        "3a928d600ef20058",
+		"redbelly/benign":          "e4fc2580e66b9980",
 		"bitcoin/selfish":          "2e1e57c2bd2922ae",
 		"bitcoin/withhold-release": "ef743d0e60bb2517",
 		"bitcoin/partition-heal":   "810b840ea7957262",
@@ -141,7 +122,7 @@ func TestScenarioDigestsPinned(t *testing.T) {
 			if !ok {
 				t.Fatalf("no pinned digest for %s", spec.Name)
 			}
-			if got := spec.Run(0).Digest; got != w {
+			if got := spec.MustRun(0).Digest; got != w {
 				t.Fatalf("digest changed: got %s, want %s (adversarial runs must replay byte-identically)", got, w)
 			}
 		})

@@ -2,16 +2,22 @@
 // Data Type" (Anceaume, Del Pozzo, Ludinard, Potop-Butucaru,
 // Tucci-Piergiovanni — SPAA 2019, arXiv:1802.09877).
 //
-// The library lives under internal/ (see README.md for the map); the
-// runnable entry points are:
+// The public API is the btsim package: a registry of self-registering
+// protocol systems (the seven of Section 5) behind one System
+// interface, functional run options, and checked, replayable results.
+// Import repro/btsim (plus repro/btsim/systems for the built-in
+// registrations); the implementation lives under internal/ (see
+// README.md for the map). The runnable entry points are:
 //
 //	cmd/btadt       — regenerate every figure/table of the paper
-//	cmd/classify    — regenerate Table 1 with cross-seed stability
-//	cmd/historyviz  — render histories and BlockTrees as ASCII
+//	cmd/classify    — regenerate Table 1 (-system for one registered system)
+//	cmd/scenarios   — adversarial catalogue + violation matrix (-list)
+//	cmd/historyviz  — render histories, BlockTrees and fault timelines
 //	examples/...    — quickstart, powsim, consortium, consensusnumber,
-//	                  hierarchy
+//	                  hierarchy (written against repro/btsim only)
 //
-// The root package holds only the benchmark harness (bench_test.go):
-// one testing.B benchmark per paper artifact plus the ablation benches
-// documented in DESIGN.md.
+// The root package holds only the benchmark harness (bench_test.go)
+// and the cross-layer pinned tests: pipeline/scenario replay digests
+// (determinism_test.go) and the examples' public-API import boundary
+// (boundary_test.go).
 package repro

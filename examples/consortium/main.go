@@ -1,71 +1,63 @@
-// consortium: a strongly consistent permissioned chain end to end.
+// consortium: two strongly consistent permissioned chains end to end.
 //
 // This example runs the Hyperledger-Fabric-style simulator of Section
 // 5.7 — endorsement, sequencer-based total-order broadcast, block cut by
 // size or elapsed time — and the Red-Belly-style consortium chain of
-// Section 5.6, then verifies what Table 1 claims for both: a frugal
-// oracle with k = 1 (no forks, 1-fork-coherent histories) and BT Strong
-// Consistency.
+// Section 5.6 through the public btsim API, then verifies what Table 1
+// claims for both: a frugal oracle with k = 1 (no forks,
+// 1-fork-coherent histories) and BT Strong Consistency.
 //
 // Run with: go run ./examples/consortium
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/consistency"
-	"repro/internal/core"
-	"repro/internal/protocols/fabric"
-	"repro/internal/protocols/redbelly"
+	"repro/btsim"
+	_ "repro/btsim/systems"
 )
 
 func main() {
 	fmt.Println("--- Hyperledger Fabric style: ordering service + block cutting ---")
-	fcfg := fabric.Config{}
-	fcfg.N = 4
-	fcfg.Rounds = 60
-	fcfg.Seed = 11
-	fcfg.ReadEvery = 8
-	fcfg.MaxTxPerBlock = 5
-	fcfg.MaxBatchDelay = 15
-	fres := fabric.Run(fcfg)
+	fres, err := btsim.Run("fabric",
+		btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(11), btsim.WithReadEvery(8))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(fres)
 	fmt.Printf("pipeline: %d submitted → %d endorsements → %d ordered → %d blocks (%d size-cut, %d time-cut)\n",
 		fres.Stats["submitted"], fres.Stats["endorsements"], fres.Stats["ordered"],
 		fres.Stats["blocks"], fres.Stats["cut_size"], fres.Stats["cut_time"])
 
-	chk := consistency.NewChecker(fres.Score, core.WellFormed{})
-	sc, ec := chk.Classify(fres.History)
+	sc, ec := fres.Check()
 	fmt.Println(sc)
 	fmt.Println(ec)
-	fmt.Println(chk.KForkCoherence(fres.History, 1))
+	fmt.Println(fres.KFork(1))
 
-	// Inspect one block's transaction batch.
-	chain := fres.Selector.Select(fres.Trees[0])
-	if chain.Height() > 0 {
-		txs, _ := core.DecodeTxs(chain.Block(1).Payload)
-		fmt.Printf("block 1 carries %d transactions\n", len(txs))
+	// Inspect one block's transaction batch (payloads are the encoded
+	// ordered batches the orderer cut).
+	if chain := fres.Chain(0); chain.Height() > 0 {
+		fmt.Printf("block 1 carries a %d-byte ordered batch\n", len(chain.Block(1).Payload))
 	}
 
 	fmt.Println("\n--- Red Belly style: consortium M, Byzantine consensus per block ---")
-	rcfg := redbelly.Config{}
-	rcfg.N = 6
-	rcfg.Rounds = 15
-	rcfg.Seed = 11
-	rcfg.ReadEvery = 10
-	rcfg.M = 4
-	rres := redbelly.Run(rcfg)
+	rres, err := btsim.Run("redbelly",
+		btsim.WithN(6), btsim.WithRounds(15), btsim.WithSeed(11), btsim.WithReadEvery(10))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(rres)
-	rchk := consistency.NewChecker(rres.Score, core.WellFormed{})
-	rsc, rec := rchk.Classify(rres.History)
+	rsc, rec := rres.Check()
 	fmt.Println(rsc)
 	fmt.Println(rec)
-	rchain := rres.Selector.Select(rres.Trees[5]) // a read-only member's replica
+	rchain := rres.Chain(5) // a read-only member's replica
 	creators := map[int]int{}
 	for _, b := range rchain {
 		if !b.IsGenesis() {
 			creators[b.Creator]++
 		}
 	}
-	fmt.Printf("blocks per consortium member (of %d members): %v\n", rcfg.M, creators)
+	fmt.Printf("blocks per consortium member (of %d members): %v\n",
+		rres.Stats["consortium"], creators)
 }

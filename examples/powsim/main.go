@@ -1,50 +1,53 @@
 // powsim: a Bitcoin-style proof-of-work network end to end.
 //
-// This example runs the Section 5.1 simulator — PoW mining weighted by
-// hashing power (the prodigal oracle Θ_P), flooding over a synchronous
-// network, longest-chain selection — then classifies the recorded
-// history: BT Eventual Consistency should hold while BT Strong
-// Consistency is violated by the transient forks (Table 1's Bitcoin
-// row). It also demonstrates Theorem 4.6/4.7: re-running the identical
-// workload with one update message dropped breaks Eventual Consistency.
+// This example runs the Section 5.1 simulator through the public btsim
+// API — PoW mining weighted by hashing power (the prodigal oracle Θ_P),
+// flooding over a synchronous network, longest-chain selection — then
+// checks the recorded history: BT Eventual Consistency should hold
+// while BT Strong Consistency is violated by the transient forks
+// (Table 1's Bitcoin row). It also demonstrates Theorem 4.6/4.7:
+// re-running the identical workload with one update message dropped
+// breaks Eventual Consistency.
 //
 // Run with: go run ./examples/powsim
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/consistency"
-	"repro/internal/core"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/simnet"
-	"repro/internal/tape"
+	"repro/btsim"
+	_ "repro/btsim/systems"
 )
 
 func main() {
-	cfg := bitcoin.Config{}
-	cfg.N = 5
-	cfg.Rounds = 300
-	cfg.Seed = 7
-	cfg.ReadEvery = 5
-	cfg.Difficulty = 8
-	cfg.Delta = 3
-	// Skewed hashing power: p0 owns half the network.
-	cfg.Merits = []tape.Merit{4, 1, 1, 1, 1}
+	const n = 5
+	base := []btsim.Option{
+		btsim.WithN(n),
+		btsim.WithRounds(300),
+		btsim.WithSeed(7),
+		btsim.WithReadEvery(5),
+		btsim.WithDifficulty(8),
+		btsim.WithDelta(3),
+		// Skewed hashing power: p0 owns half the network.
+		btsim.WithMerits(4, 1, 1, 1, 1),
+	}
 
-	res := bitcoin.Run(cfg)
+	res, err := btsim.Run("bitcoin", base...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(res)
 	fmt.Println("blocks mined:", res.Stats["mined"],
 		"— getToken calls:", res.Stats["getToken"])
 
-	chk := consistency.NewChecker(res.Score, core.WellFormed{})
-	sc, ec := chk.Classify(res.History)
+	sc, ec := res.Check()
 	fmt.Println(sc, "  ←  transient forks make reads incomparable")
 	fmt.Println(ec, "  ←  but every divergence resolves")
-	fmt.Println(consistency.UpdateAgreement(res.History, res.Creators))
+	fmt.Println(res.UpdateAgreement())
 
 	// The chain share of the dominant miner tracks its merit.
-	chain := res.Selector.Select(res.Trees[0])
+	chain := res.Chain(0)
 	byCreator := map[int]int{}
 	for _, b := range chain {
 		if !b.IsGenesis() {
@@ -52,19 +55,22 @@ func main() {
 		}
 	}
 	fmt.Println("\nchain length:", chain.Height())
-	for p := 0; p < cfg.N; p++ {
+	for p := 0; p < n; p++ {
 		fmt.Printf("  p%d mined %d of the selected chain\n", p, byCreator[p])
 	}
 
 	// Theorem 4.6/4.7: one lost update message breaks EC.
 	fmt.Println("\n--- same workload, one message to p3 dropped ---")
-	lossy := cfg
-	lossy.Merits = []tape.Merit{1, 0, 0, 0, 0} // linear chain: the drop is load-bearing
-	lossy.DropRule = simnet.DropNth(0, simnet.DropToProcess(3))
-	res2 := bitcoin.Run(lossy)
-	_, ec2 := consistency.NewChecker(res2.Score, core.WellFormed{}).Classify(res2.History)
+	res2, err := btsim.Run("bitcoin", append(base,
+		btsim.WithMerits(1, 0, 0, 0, 0), // linear chain: the drop is load-bearing
+		btsim.WithDropNth(0, 3),
+	)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, ec2 := res2.Check()
 	fmt.Println(ec2)
-	fmt.Println(consistency.UpdateAgreement(res2.History, res2.Creators))
+	fmt.Println(res2.UpdateAgreement())
 	fmt.Println("final heights per replica:", res2.FinalHeights(),
 		"  ← p3 is stuck behind the missing block")
 }

@@ -1,72 +1,78 @@
-// Quickstart: the BlockTree ADT in five minutes.
+// Quickstart: the public btsim API in five minutes.
 //
-// This example walks the paper's core objects end to end:
+// The paper's seven blockchain systems are instances of one abstraction
+// — a BlockTree ADT refined by a token oracle — and btsim exposes them
+// behind one interface:
 //
-//  1. build a BlockTree and append blocks through the refined
-//     append() — getToken*/consumeToken against a frugal token oracle
-//     (Definition 3.7);
-//  2. read the selected chain ({b0}⌢f(bt)) and watch it grow;
-//  3. record every operation into a concurrent history and check the
-//     BT Strong Consistency and BT Eventual Consistency criteria
-//     (Definitions 3.2–3.4).
+//  1. import repro/btsim/systems for side effects and every system of
+//     Section 5 self-registers; btsim.Systems() lists them with the
+//     oracle family and consistency criterion the paper claims;
+//  2. run any of them by name with functional options (btsim.Run);
+//  3. watch progress with an observer, then check the recorded history
+//     against the BT Strong/Eventual Consistency criteria and replay
+//     the run byte-identically from its digest.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"repro/internal/consistency"
-	"repro/internal/core"
-	"repro/internal/history"
-	"repro/internal/oracle"
-	"repro/internal/refine"
+	"repro/btsim"
+	_ "repro/btsim/systems" // self-registration: the Section 5 seven
 )
 
 func main() {
-	// A frugal oracle with k = 1: at most one token per block, so the
-	// tree can never fork (Theorem 3.2 with k = 1).
-	orc := oracle.NewFrugal(1, nil, core.WellFormed{}, 2024)
-
-	// The refined BlockTree, recording a two-process history.
-	rec := history.NewRecorder(2, nil)
-	bt := refine.New(refine.Config{
-		Oracle:   orc,
-		Selector: core.LongestChain{},
-		Recorder: rec,
-	})
-
-	fmt.Println("initial read:", bt.Read(0))
-
-	// Two processes alternate appends; each append mines a token for
-	// the current head of the selected chain and consumes it.
-	for i := 0; i < 6; i++ {
-		proc := i % 2
-		payload := core.EncodeTxs([]core.Tx{{From: 0, To: uint32(proc + 1), Amount: 50}})
-		b, ok := bt.Append(proc, 0.5, i, payload)
-		fmt.Printf("p%d append round %d: ok=%v block=%v\n", proc, i, ok, b)
-		fmt.Printf("p%d read: %v\n", proc, bt.Read(proc))
+	fmt.Println("--- the registry: every system of Section 5, one interface ---")
+	for _, sys := range btsim.Systems() {
+		info := sys.Info()
+		fmt.Printf("  §%-4s %-11s %-16s %-10s %s\n",
+			info.Section, info.Name, info.Oracle, info.Criterion, info.Synopsis)
 	}
 
-	tree := bt.Tree()
-	fmt.Println("\nfinal tree:", tree)
-	fmt.Println("fork degree:", tree.MaxForkDegree(), "(k=1 ⇒ always a chain)")
-
-	// Check the recorded history against both consistency criteria.
-	h := rec.Snapshot()
-	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
-	sc, ec := chk.Classify(h)
-	fmt.Println("\nhistory:", h)
-	fmt.Println(sc)
-	fmt.Println(ec)
-	fmt.Println(chk.KForkCoherence(h, 1))
-
-	// The ledger state at the head of the chain.
-	chain := bt.Read(0)
-	ledger, err := core.Replay(chain)
+	fmt.Println("\n--- one run: Bitcoin, 300 PoW rounds, an observer watching ---")
+	progress := 0
+	res, err := btsim.Run("bitcoin",
+		btsim.WithN(4),
+		btsim.WithRounds(300),
+		btsim.WithSeed(42),
+		btsim.WithReadEvery(6),
+		btsim.WithDifficulty(10),
+		btsim.WithObserver(func(p btsim.Progress) bool {
+			if p.Round%100 == 0 {
+				fmt.Printf("  t=%-4d round %d/%d\n", p.Now, p.Round, p.Rounds)
+			}
+			progress++
+			return true // false would stop block production early
+		}),
+	)
 	if err != nil {
-		fmt.Println("ledger replay failed:", err)
-		return
+		log.Fatal(err)
 	}
-	fmt.Printf("\nledger balances: p1=%d p2=%d\n", ledger.Balance(1), ledger.Balance(2))
+	fmt.Printf("  observer saw %d rounds\n", progress)
+	fmt.Println(" ", res)
+	fmt.Println("  blocks mined:", res.Stats["mined"], "— getToken calls:", res.Stats["getToken"])
+
+	fmt.Println("\n--- the measured verdicts (the registry's claims are checked, not trusted) ---")
+	sc, ec := res.Check()
+	fmt.Println(" ", sc, " ←  transient forks make reads incomparable")
+	fmt.Println(" ", ec, " ←  but every divergence resolves (the paper's Bitcoin row)")
+	fmt.Printf("  claimed: oracle %s, criterion %s; measured fork degree %d\n",
+		res.Info.Oracle, res.Info.Criterion, res.MeasuredForkMax)
+
+	fmt.Println("\n--- determinism: the same (system, options, seed) replays byte-identically ---")
+	again, err := btsim.Run("bitcoin",
+		btsim.WithN(4), btsim.WithRounds(300), btsim.WithSeed(42),
+		btsim.WithReadEvery(6), btsim.WithDifficulty(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  digest %s replayed as %s — identical: %v\n",
+		res.Digest(), again.Digest(), res.Digest() == again.Digest())
+
+	fmt.Println("\n--- errors name their options: btsim.Run(\"dogecoin\") ---")
+	if _, err := btsim.Run("dogecoin"); err != nil {
+		fmt.Println(" ", err)
+	}
 }

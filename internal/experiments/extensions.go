@@ -1,13 +1,11 @@
 package experiments
 
 import (
+	"repro/btsim"
 	"repro/internal/consistency"
 	"repro/internal/core"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/protocols/fabric"
 	"repro/internal/replica"
 	"repro/internal/simnet"
-	"repro/internal/tape"
 )
 
 // This file implements the experiments that go beyond the paper's own
@@ -31,27 +29,28 @@ import (
 func ExtensionMPC(seed uint64) *Result {
 	res := &Result{ID: "Extension MPC", Title: "Monotonic Prefix Consistency ([20]) vs SC/EC", OK: true}
 
-	bcfg := bitcoin.Config{}
-	bcfg.N = 4
-	bcfg.Rounds = 300
-	bcfg.Seed = seed
-	bcfg.ReadEvery = 4
-	bcfg.Difficulty = 5
-	bres := bitcoin.Run(bcfg)
-	bchk := consistency.NewChecker(bres.Score, core.WellFormed{})
-	bmpc := bchk.MonotonicPrefix(bres.History)
-	bsc, bec := bchk.Classify(bres.History)
+	bres, err := btsim.Run("bitcoin",
+		btsim.WithN(4), btsim.WithRounds(300), btsim.WithSeed(seed),
+		btsim.WithReadEvery(4), btsim.WithDifficulty(5))
+	if err != nil {
+		res.OK = false
+		res.notef("bitcoin run failed: %v", err)
+		return res
+	}
+	bmpc := bres.MonotonicPrefix()
+	bsc, bec := bres.Check()
 	res.addf("Bitcoin : %s ; %s ; %s", bsc, bec, bmpc)
 
-	fcfg := fabric.Config{}
-	fcfg.N = 4
-	fcfg.Rounds = 40
-	fcfg.Seed = seed
-	fcfg.ReadEvery = 8
-	fres := fabric.Run(fcfg)
-	fchk := consistency.NewChecker(fres.Score, core.WellFormed{})
-	fmpc := fchk.MonotonicPrefix(fres.History)
-	fsc, fec := fchk.Classify(fres.History)
+	fres, err := btsim.Run("fabric",
+		btsim.WithN(4), btsim.WithRounds(40), btsim.WithSeed(seed),
+		btsim.WithReadEvery(8))
+	if err != nil {
+		res.OK = false
+		res.notef("fabric run failed: %v", err)
+		return res
+	}
+	fmpc := fres.MonotonicPrefix()
+	fsc, fec := fres.Check()
 	res.addf("Fabric  : %s ; %s ; %s", fsc, fec, fmpc)
 
 	// Expected placement: the reorg-prone PoW run violates MPC (it
@@ -76,23 +75,25 @@ func ExtensionMPC(seed uint64) *Result {
 // against its merit share on a Bitcoin run with skewed hashing power.
 func ExtensionFairness(seed uint64) *Result {
 	res := &Result{ID: "Extension Fairness", Title: "chain share vs merit share (oracle fairness)", OK: true}
-	cfg := bitcoin.Config{}
-	cfg.N = 4
-	cfg.Rounds = 600
-	cfg.Seed = seed
-	cfg.ReadEvery = 50
-	cfg.Difficulty = 6
-	cfg.Merits = []tape.Merit{4, 2, 1, 1}
-	r := bitcoin.Run(cfg)
+	const n = 4
+	r, err := btsim.Run("bitcoin",
+		btsim.WithN(n), btsim.WithRounds(600), btsim.WithSeed(seed),
+		btsim.WithReadEvery(50), btsim.WithDifficulty(6),
+		btsim.WithMerits(4, 2, 1, 1))
+	if err != nil {
+		res.OK = false
+		res.notef("bitcoin run failed: %v", err)
+		return res
+	}
 
-	chain := r.Selector.Select(r.Trees[0])
+	chain := r.Chain(0)
 	total := chain.Height()
 	if total == 0 {
 		res.OK = false
 		res.notef("empty chain")
 		return res
 	}
-	counts := make([]int, cfg.N)
+	counts := make([]int, n)
 	for _, b := range chain {
 		if !b.IsGenesis() {
 			counts[b.Creator]++
@@ -100,7 +101,7 @@ func ExtensionFairness(seed uint64) *Result {
 	}
 	meritShare := []float64{0.5, 0.25, 0.125, 0.125}
 	maxDev := 0.0
-	for p := 0; p < cfg.N; p++ {
+	for p := 0; p < n; p++ {
 		share := float64(counts[p]) / float64(total)
 		dev := share - meritShare[p]
 		if dev < 0 {

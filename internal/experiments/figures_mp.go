@@ -1,14 +1,13 @@
 package experiments
 
 import (
+	"repro/btsim"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/oracle"
-	"repro/internal/protocols/bitcoin"
 	"repro/internal/replica"
 	"repro/internal/simnet"
-	"repro/internal/tape"
 )
 
 // Figure13 reproduces the Update Agreement history of Figure 13: three
@@ -66,26 +65,32 @@ func Figure13(seed uint64) *Result {
 func TheoremLRC(seed uint64) *Result {
 	res := &Result{ID: "Theorem 4.6/4.7", Title: "one dropped message breaks Eventual Prefix", OK: true}
 
-	base := bitcoin.Config{}
-	base.N = 4
-	base.Rounds = 120
-	base.Seed = seed
-	base.ReadEvery = 15
-	base.Difficulty = 10
-	base.Merits = []tape.Merit{1, 0, 0, 0} // single miner: a linear chain
+	base := []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(120), btsim.WithSeed(seed),
+		btsim.WithReadEvery(15), btsim.WithDifficulty(10),
+		btsim.WithMerits(1, 0, 0, 0), // single miner: a linear chain
+	}
 
-	clean := bitcoin.Run(base)
+	clean, err := btsim.Run("bitcoin", base...)
+	if err != nil {
+		res.OK = false
+		res.notef("bitcoin run failed: %v", err)
+		return res
+	}
 	chkClean := consistency.NewChecker(clean.Score, core.WellFormed{})
 	ecClean := chkClean.EventualConsistency(clean.History)
-	uaClean := consistency.UpdateAgreement(clean.History, clean.Creators)
+	uaClean := clean.UpdateAgreement()
 	res.addf("lossless run: %s ; %s", ecClean, uaClean)
 
-	lossy := base
-	lossy.DropRule = simnet.DropNth(0, simnet.DropToProcess(2))
-	broken := bitcoin.Run(lossy)
+	broken, err := btsim.Run("bitcoin", append(base, btsim.WithDropNth(0, 2))...)
+	if err != nil {
+		res.OK = false
+		res.notef("lossy bitcoin run failed: %v", err)
+		return res
+	}
 	chk := consistency.NewChecker(broken.Score, core.WellFormed{})
 	ec := chk.EventualConsistency(broken.History)
-	ua := consistency.UpdateAgreement(broken.History, broken.Creators)
+	ua := broken.UpdateAgreement()
 	lrc := consistency.LRC(broken.History)
 	res.addf("one message to p2 dropped: %s ; %s ; %s", ec, ua, lrc)
 	res.addf("final heights: clean=%v lossy=%v", clean.FinalHeights(), broken.FinalHeights())

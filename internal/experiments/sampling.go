@@ -1,10 +1,6 @@
 package experiments
 
-import (
-	"repro/internal/consistency"
-	"repro/internal/core"
-	"repro/internal/protocols/bitcoin"
-)
+import "repro/btsim"
 
 // ExtensionSampling quantifies an observability effect the Table 1
 // methodology depends on: Strong Prefix violations in a proof-of-work
@@ -19,15 +15,15 @@ func ExtensionSampling(seed uint64) *Result {
 
 	witnessedDense := false
 	for _, every := range []int64{2, 4, 10, 25, 75} {
-		cfg := bitcoin.Config{}
-		cfg.N = 4
-		cfg.Rounds = 300
-		cfg.Seed = seed
-		cfg.ReadEvery = every
-		cfg.Difficulty = 5
-		r := bitcoin.Run(cfg)
-		chk := consistency.NewChecker(r.Score, core.WellFormed{})
-		sc, ec := chk.Classify(r.History)
+		r, err := btsim.Run("bitcoin",
+			btsim.WithN(4), btsim.WithRounds(300), btsim.WithSeed(seed),
+			btsim.WithReadEvery(every), btsim.WithDifficulty(5))
+		if err != nil {
+			res.OK = false
+			res.notef("bitcoin run failed: %v", err)
+			return res
+		}
+		sc, ec := r.Check()
 		reads := len(r.History.Reads())
 		res.addf("read every %3d ticks: %4d reads → %s ; %s (forkMax %d)",
 			every, reads, sc, ec, r.MeasuredForkMax)

@@ -2,18 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
-	"repro/internal/consistency"
-	"repro/internal/core"
+	"repro/btsim"
+	_ "repro/btsim/systems" // register the built-in seven systems
 	"repro/internal/oracle"
-	"repro/internal/protocols"
-	"repro/internal/protocols/algorand"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/protocols/byzcoin"
-	"repro/internal/protocols/ethereum"
-	"repro/internal/protocols/fabric"
-	"repro/internal/protocols/peercensus"
-	"repro/internal/protocols/redbelly"
 )
 
 // Row is one classified system of Table 1.
@@ -31,10 +24,9 @@ type Row struct {
 // classify derives a system's Table 1 row from its recorded run: the
 // measured oracle class (from the k-fork coherence of the history and
 // the fork degree of the trees) and the measured consistency criteria.
-func classify(r *protocols.Result) Row {
-	chk := consistency.NewChecker(r.Score, core.WellFormed{})
-	sc, ec := chk.Classify(r.History)
-	k1 := chk.KForkCoherence(r.History, 1)
+func classify(r *btsim.Result) Row {
+	sc, ec := r.Check()
+	k1 := r.KFork(1)
 
 	measured := "ΘP"
 	if k1.OK && r.MeasuredForkMax <= 1 {
@@ -62,26 +54,86 @@ func classify(r *protocols.Result) Row {
 	return row
 }
 
-// RunAll executes all seven system simulators with comparable defaults.
-func RunAll(seed uint64) []*protocols.Result {
-	common := protocols.Config{N: 4, Rounds: 60, Seed: seed, ReadEvery: 12}
-	// PoW systems read frequently so that the transient fork windows
-	// (which are what separates EC from SC) are actually observed.
-	powCommon := protocols.Config{N: 4, Rounds: 300, Seed: seed, ReadEvery: 4}
-	return []*protocols.Result{
-		bitcoin.Run(bitcoin.Config{Config: powCommon, Difficulty: 10}),
-		ethereum.Run(ethereum.Config{Config: powCommon, Difficulty: 5}),
-		algorand.Run(algorand.Config{Config: common}),
-		byzcoin.Run(byzcoin.Config{Config: common}),
-		peercensus.Run(peercensus.Config{Config: common}),
-		redbelly.Run(redbelly.Config{Config: common}),
-		fabric.Run(fabric.Config{Config: common}),
-	}
+// table1Order is the presentation order of the classic Table 1 rows;
+// systems registered later (not named here) are appended by name.
+var table1Order = []string{
+	"bitcoin", "ethereum", "algorand", "byzcoin", "peercensus", "redbelly", "fabric",
 }
 
-// Table1 regenerates Table 1: each system is *run*, its history is
-// *classified*, and the measured (oracle, criterion) pair is compared to
-// the paper's mapping.
+// table1Tuning holds the per-system deviations from the common Table 1
+// defaults. The PoW systems run longer and read frequently so that the
+// transient fork windows (which are what separates EC from SC) are
+// actually observed.
+var table1Tuning = map[string][]btsim.Option{
+	"bitcoin":  {btsim.WithRounds(300), btsim.WithReadEvery(4), btsim.WithDifficulty(10)},
+	"ethereum": {btsim.WithRounds(300), btsim.WithReadEvery(4), btsim.WithDifficulty(5)},
+}
+
+// tableSystems returns every registered system in Table 1 presentation
+// order, with any system not named in table1Order appended by name —
+// a newly registered package shows up in the table automatically.
+func tableSystems() []btsim.System {
+	named := map[string]bool{}
+	var out []btsim.System
+	for _, name := range table1Order {
+		if sys, ok := btsim.Lookup(name); ok {
+			named[name] = true
+			out = append(out, sys)
+		}
+	}
+	var extra []btsim.System
+	for _, sys := range btsim.Systems() {
+		if !named[sys.Name()] {
+			extra = append(extra, sys)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Name() < extra[j].Name() })
+	return append(out, extra...)
+}
+
+// RunBenign executes one registered system under the Table 1 defaults.
+func RunBenign(sys btsim.System, seed uint64) (*btsim.Result, error) {
+	opts := []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(seed), btsim.WithReadEvery(12),
+	}
+	opts = append(opts, table1Tuning[sys.Name()]...)
+	return sys.Run(btsim.NewConfig(opts...))
+}
+
+// RunAll executes every registered system with comparable defaults, in
+// Table 1 presentation order.
+func RunAll(seed uint64) []*btsim.Result {
+	var out []*btsim.Result
+	for _, sys := range tableSystems() {
+		res, err := RunBenign(sys, seed)
+		if err != nil {
+			// Registered adapters accept the benign defaults; a failure
+			// is a registration bug and must surface in the table.
+			panic(fmt.Sprintf("experiments: %s: %v", sys.Name(), err))
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// ClassifyOne runs a single registered system under the Table 1
+// defaults and derives its row — cmd/classify -system.
+func ClassifyOne(name string, seed uint64) (Row, error) {
+	sys, err := btsim.Get(name)
+	if err != nil {
+		return Row{}, err
+	}
+	res, err := RunBenign(sys, seed)
+	if err != nil {
+		return Row{}, err
+	}
+	return classify(res), nil
+}
+
+// Table1 regenerates Table 1: each registered system is *run*, its
+// history is *classified*, and the measured (oracle, criterion) pair is
+// compared to the paper's mapping. The systems come from the btsim
+// registry — adding a package with a btsim.Register call adds its row.
 func Table1(seed uint64) *Result {
 	res := &Result{ID: "Table 1", Title: "mapping of existing systems", OK: true}
 	res.addf("%-12s %-10s %-10s %-7s %-6s %-6s %-10s %s",

@@ -153,6 +153,9 @@ func Run(cfg Config) *protocols.Result {
 	for r := 0; r < cfg.Rounds; r++ {
 		round := r
 		sim.Schedule(int64(round)*roundLen+1, func() {
+			if !cfg.Tick(round, sim.Now()) {
+				return
+			}
 			st := stateOf(round)
 			// Sortition: committee members weighted by stake,
 			// the first pick is the highest-priority proposer.

@@ -1,0 +1,18 @@
+package algorand
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "algorand",
+		Section:   "5.4",
+		Oracle:    "ΘF,k=1 (w.h.p.)",
+		K:         1,
+		Criterion: "SC w.h.p.",
+		Synopsis:  "stake-weighted sortition, BA* committee agreement per round",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Delta: cfg.Delta}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -134,6 +134,9 @@ func Run(cfg Config) *protocols.Result {
 			return
 		}
 		started[h] = true
+		if !cfg.Tick(h, sim.Now()) {
+			return
+		}
 		eng.Start(h)
 	}
 	engStart(0)

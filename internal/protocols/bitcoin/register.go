@@ -1,0 +1,21 @@
+package bitcoin
+
+import "repro/btsim"
+
+// The package registers itself with the public btsim registry: import
+// repro/btsim/systems (or this package) for side effects and the system
+// is reachable by name from scenarios, experiments and the cmd tools.
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "bitcoin",
+		Section:   "5.1",
+		Oracle:    "ΘP",
+		K:         0,
+		Criterion: "EC",
+		Synopsis:  "permissionless PoW, flooding, longest-chain selection",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Difficulty: cfg.Difficulty, Delta: cfg.Delta, DropRule: cfg.DropRule()}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -1,0 +1,18 @@
+package byzcoin
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "byzcoin",
+		Section:   "5.3",
+		Oracle:    "ΘF,k=1",
+		K:         1,
+		Criterion: "SC",
+		Synopsis:  "PoW-elected leader, PBFT commit of one key block per height",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Delta: cfg.Delta}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -61,6 +61,9 @@ func Run(cfg Config) *protocols.Result {
 	for round := 0; round < cfg.Rounds; round++ {
 		r := round
 		sim.Schedule(int64(round+1), func() {
+			if !cfg.Tick(r, sim.Now()) {
+				return
+			}
 			for i, p := range group.Procs {
 				i, p := i, p
 				adv.MineTick(p, func(parent *core.Block) *core.Block {

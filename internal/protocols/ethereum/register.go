@@ -1,0 +1,18 @@
+package ethereum
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "ethereum",
+		Section:   "5.2",
+		Oracle:    "ΘP",
+		K:         0,
+		Criterion: "EC",
+		Synopsis:  "fast-block PoW, flooding, GHOST heaviest-subtree selection",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Difficulty: cfg.Difficulty, Delta: cfg.Delta, DropRule: cfg.DropRule()}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -194,6 +194,9 @@ func Run(cfg Config) *protocols.Result {
 		tt := t
 		s := seq
 		sim.Schedule(tt, func() {
+			if !cfg.Tick(s, sim.Now()) {
+				return
+			}
 			client := int(tt) % cfg.N
 			stats["submitted"]++
 			req := endorseReq{Tx: core.Tx{From: 0, To: uint32(client + 1), Amount: 1}, Client: client, Seq: s}

@@ -1,0 +1,18 @@
+package fabric
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "fabric",
+		Section:   "5.7",
+		Oracle:    "ΘF,k=1",
+		K:         1,
+		Criterion: "SC",
+		Synopsis:  "permissioned: endorsement, ordering service, block cutting",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Delta: cfg.Delta}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -1,0 +1,18 @@
+package peercensus
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "peercensus",
+		Section:   "5.5",
+		Oracle:    "ΘF,k=1",
+		K:         1,
+		Criterion: "SC",
+		Synopsis:  "PoW identities, committee consensus anchored on prior creators",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Delta: cfg.Delta}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

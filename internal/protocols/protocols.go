@@ -48,6 +48,30 @@ type Config struct {
 	// benign. Protocol simulators that support adversaries wire it;
 	// the others ignore it.
 	Adversary adversary.Config
+	// Observer, when set, is invoked once per protocol round (tick /
+	// height) before the round's block production; returning false
+	// stops further production (the run still drains in-flight
+	// messages and takes its final reads). The public btsim layer
+	// wires per-round progress/early-stop callbacks through it.
+	Observer func(round int, now int64) bool
+
+	// halted latches a false Observer return so every later round is
+	// skipped without consulting the observer again.
+	halted bool
+}
+
+// Tick reports whether the run should produce blocks for this round:
+// it invokes the Observer (if any) and latches a false return. Every
+// protocol runner calls it at the top of its per-round work.
+func (c *Config) Tick(round int, now int64) bool {
+	if c.halted {
+		return false
+	}
+	if c.Observer != nil && !c.Observer(round, now) {
+		c.halted = true
+		return false
+	}
+	return true
 }
 
 // ApplyNet installs the common fault knobs on a run's network. Every

@@ -1,0 +1,18 @@
+package redbelly
+
+import "repro/btsim"
+
+func init() {
+	btsim.Register(btsim.NewSystem(btsim.Info{
+		Name:      "redbelly",
+		Section:   "5.6",
+		Oracle:    "ΘF,k=1",
+		K:         1,
+		Criterion: "SC",
+		Synopsis:  "consortium proposers, Byzantine consensus decides each height",
+	}, func(cfg btsim.Config) (*btsim.Result, error) {
+		c := Config{Delta: cfg.Delta}
+		c.Config = cfg.Base()
+		return &btsim.Result{Result: Run(c)}, nil
+	}))
+}

@@ -3,21 +3,21 @@ package scenario
 import (
 	"strings"
 
-	"repro/internal/adversary"
-	"repro/internal/simnet"
-	"repro/internal/tape"
+	"repro/btsim"
 )
 
 // Catalogue is the curated scenario set behind cmd/scenarios: benign
-// baselines first (the checkers' "holds" side), then one attack per
-// criterion the paper's hierarchy predicts breakable, each with a pinned
-// seed at which the violation is actually measured. The pinned digests
-// in the root determinism test replay every entry byte-identically.
+// baselines first (the checkers' "holds" side — one per registered
+// system family, so every one of the paper's seven systems is
+// scenario-able and measured), then one attack per criterion the
+// paper's hierarchy predicts breakable, each with a pinned seed at
+// which the violation is actually measured. The pinned digests in the
+// root determinism test replay every entry byte-identically.
 func Catalogue() []Spec {
 	// Adversarial PoW runs give the attacker ~1/3 hashing power — below
 	// one half (no trivial majority takeover) and above the share where
 	// withholding is hopeless.
-	advMerits := []tape.Merit{1, 1, 1, 1.5}
+	advMerits := []float64{1, 1, 1, 1.5}
 	return []Spec{
 		{
 			Name: "bitcoin/benign", System: "bitcoin",
@@ -30,10 +30,30 @@ func Catalogue() []Spec {
 			Note: "baseline: frugal k=1 ordering service — SC and 1-fork coherence hold",
 		},
 		{
+			Name: "byzcoin/benign", System: "byzcoin",
+			N: 4, Rounds: 30, Seed: 42, ReadEvery: 12, CheckK: 1,
+			Note: "baseline: PoW-elected leader + PBFT key blocks — SC holds, no forks",
+		},
+		{
+			Name: "algorand/benign", System: "algorand",
+			N: 4, Rounds: 30, Seed: 42, ReadEvery: 12, CheckK: 1,
+			Note: "baseline: sortition + BA* committee — SC w.h.p., fork-free at default",
+		},
+		{
+			Name: "peercensus/benign", System: "peercensus",
+			N: 4, Rounds: 30, Seed: 42, ReadEvery: 12, CheckK: 1,
+			Note: "baseline: PoW identities + committee consensus — SC holds",
+		},
+		{
+			Name: "redbelly/benign", System: "redbelly",
+			N: 6, Rounds: 15, Seed: 42, ReadEvery: 10, CheckK: 1,
+			Note: "baseline: consortium proposers, one decided block per height — SC holds",
+		},
+		{
 			Name: "bitcoin/selfish", System: "bitcoin",
 			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 8,
 			Merits:       advMerits,
-			Adversary:    adversary.Config{Strategy: adversary.Selfish, Lead: 1},
+			Adversary:    btsim.Adversary{Strategy: btsim.Selfish, Lead: 1},
 			ExpectBroken: []string{"StrongPrefix"},
 			Note:         "withhold-and-release mining forces reorgs: incomparable honest reads",
 		},
@@ -42,8 +62,8 @@ func Catalogue() []Spec {
 			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 8,
 			// A pure withholder needs majority hashing power to keep its
 			// private branch ahead until the end-of-run release.
-			Merits:       []tape.Merit{1, 1, 1, 4},
-			Adversary:    adversary.Config{Strategy: adversary.Withhold, ReleaseAtEnd: true},
+			Merits:       []float64{1, 1, 1, 4},
+			Adversary:    btsim.Adversary{Strategy: btsim.Withhold, ReleaseAtEnd: true},
 			ExpectBroken: []string{"StrongPrefix"},
 			Note:         "private chain released only at the end: one maximal late reorg",
 		},
@@ -57,14 +77,14 @@ func Catalogue() []Spec {
 		{
 			Name: "bitcoin/partition-noheal", System: "bitcoin",
 			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 6,
-			Faults:       []FaultSpec{{Kind: "split", Start: 50, End: simnet.NoHeal, Left: []int{0, 1}}},
+			Faults:       []FaultSpec{{Kind: "split", Start: 50, End: btsim.NoHeal, Left: []int{0, 1}}},
 			ExpectBroken: []string{"StrongPrefix", "EventualPrefix"},
 			Note:         "permanent cut: divergence persists into the final window — even EC dies",
 		},
 		{
 			Name: "bitcoin/eclipse", System: "bitcoin",
 			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 6,
-			Faults:       []FaultSpec{{Kind: "eclipse", Start: 100, End: simnet.NoHeal, Left: []int{2}}},
+			Faults:       []FaultSpec{{Kind: "eclipse", Start: 100, End: btsim.NoHeal, Left: []int{2}}},
 			ExpectBroken: []string{"EverGrowingTree"},
 			Note:         "eclipsed correct process stagnates while the tree demonstrably grows",
 		},
@@ -82,7 +102,7 @@ func Catalogue() []Spec {
 			Name: "ethereum/forkflood", System: "ethereum",
 			N: 4, Rounds: 120, Seed: 42, ReadEvery: 4, Difficulty: 4,
 			Merits:       advMerits,
-			Adversary:    adversary.Config{Strategy: adversary.Equivocate, Forks: 3},
+			Adversary:    btsim.Adversary{Strategy: btsim.Equivocate, Forks: 3},
 			ExpectBroken: []string{"StrongPrefix"},
 			Note:         "fork flooding under ΘP: forged siblings shake GHOST between subtrees",
 		},
@@ -93,7 +113,7 @@ func Catalogue() []Spec {
 			// deterministic function, so replicas sharing the forked
 			// tree still read the same chain) — exactly why k-Fork
 			// Coherence is a separate criterion in the hierarchy.
-			Adversary:    adversary.Config{Strategy: adversary.Equivocate, Proc: 0, Forks: 2},
+			Adversary:    btsim.Adversary{Strategy: btsim.Equivocate, Proc: 0, Forks: 2},
 			ExpectBroken: []string{"1-ForkCoherence"},
 			Note:         "Byzantine orderer signs two blocks per height token: measured k-fork violation",
 		},

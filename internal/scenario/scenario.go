@@ -1,76 +1,47 @@
 // Package scenario is the declarative layer over the adversary and
-// fault-injection subsystem: a Spec names one execution — protocol ×
-// synchrony knob × adversary strategy × fault schedule × churn windows ×
-// seed — and Run turns it into a fully checked Outcome (both criterion
-// verdicts, optional k-Fork Coherence, the distinct violated properties
-// with their structured witnesses, and a replay digest).
+// fault-injection subsystem: a Spec names one execution — registered
+// system × synchrony knob × adversary strategy × fault schedule × churn
+// windows × seed — and Run turns it into a fully checked Outcome (both
+// criterion verdicts, optional k-Fork Coherence, the distinct violated
+// properties with their structured witnesses, and a replay digest).
 //
-// The curated Catalogue pairs benign baselines with the attacks the
-// paper's hierarchy predicts must break each criterion; Matrix renders
-// the resulting violation matrix (cmd/scenarios), and Sweep runs one
-// spec across many seeds in parallel — the first concurrent code in the
-// repository, which is why CI runs this package under -race.
+// Dispatch goes through the public btsim registry, so every registered
+// system — all seven of the paper's Section 5, plus anything a future
+// package registers — is scenario-able; nothing in this package names a
+// protocol package. The curated Catalogue pairs benign baselines with
+// the attacks the paper's hierarchy predicts must break each criterion;
+// Matrix renders the resulting violation matrix (cmd/scenarios), and
+// Sweep runs one spec across many seeds in parallel — the first
+// concurrent code in the repository, which is why CI runs this package
+// under -race.
 package scenario
 
 import (
 	"fmt"
 	"hash/fnv"
-	"io"
 	"sort"
 
-	"repro/internal/adversary"
+	"repro/btsim"
+	_ "repro/btsim/systems" // register the built-in seven systems
 	"repro/internal/consistency"
-	"repro/internal/core"
-	"repro/internal/protocols"
-	"repro/internal/protocols/bitcoin"
-	"repro/internal/protocols/ethereum"
-	"repro/internal/protocols/fabric"
-	"repro/internal/simnet"
-	"repro/internal/tape"
 )
 
 // FaultSpec declares one partition window without committing to a
-// process count (the window is resolved against N at run time).
-type FaultSpec struct {
-	// Kind is "split" (Left vs. the rest) or "eclipse" (Left[0] alone).
-	Kind string
-	// Start and End bound the window; End == simnet.NoHeal (-1) makes
-	// the cut permanent.
-	Start, End int64
-	// Left is the cut-off side: the split's side-0 members, or the
-	// eclipse victim as Left[0].
-	Left []int
-}
-
-// Window resolves the spec for an n-process run.
-func (f FaultSpec) Window(n int) simnet.Window {
-	switch f.Kind {
-	case "eclipse":
-		victim := 0
-		if len(f.Left) > 0 {
-			victim = f.Left[0]
-		}
-		return simnet.EclipseWindow(f.Start, f.End, n, victim)
-	default:
-		return simnet.SplitWindow(f.Start, f.End, n, f.Left)
-	}
-}
-
-// String renders e.g. "split{0 1}[50,200)" or "eclipse{2}[100,∞)".
-func (f FaultSpec) String() string {
-	end := fmt.Sprint(f.End)
-	if f.End == simnet.NoHeal {
-		end = "∞"
-	}
-	return fmt.Sprintf("%s%v[%d,%s)", f.Kind, f.Left, f.Start, end)
-}
+// process count (the window is resolved against N at run time). It is
+// the public btsim fault declaration: "split" cuts Left off from the
+// rest, "eclipse" cuts Left[0] off alone, End == btsim.NoHeal makes the
+// cut permanent.
+type FaultSpec = btsim.Fault
 
 // Spec is one declarative scenario.
 type Spec struct {
 	// Name identifies the scenario in the catalogue and the matrix.
 	Name string
-	// System picks the protocol simulator: "bitcoin", "ethereum" or
-	// "fabric" (the prodigal PoW family and the frugal k=1 family).
+	// System picks the protocol simulator by its registered btsim name
+	// — any entry of btsim.Names() works ("bitcoin", "ethereum",
+	// "byzcoin", "algorand", "peercensus", "redbelly", "fabric", plus
+	// whatever else has been registered). Unknown names make Run
+	// return an error listing the registered options.
 	System string
 	// N, Rounds, Seed, ReadEvery are the common run knobs.
 	N, Rounds int
@@ -82,9 +53,9 @@ type Spec struct {
 	Difficulty float64
 	// Merits skews hashing power / stake (nil = uniform); adversarial
 	// mining power lives here.
-	Merits []tape.Merit
+	Merits []float64
 	// Adversary is the process-level strategy (zero value = benign).
-	Adversary adversary.Config
+	Adversary btsim.Adversary
 	// Faults are the network-level partition/eclipse windows. Churn is
 	// modeled as temporary eclipse windows: a process leaving and
 	// rejoining is exactly a cut that heals (deferred updates flush).
@@ -105,7 +76,7 @@ type Outcome struct {
 	Spec Spec
 	// Seed is the seed actually used (sweeps override Spec.Seed).
 	Seed uint64
-	Res  *protocols.Result
+	Res  *btsim.Result
 	// SC and EC are the two criterion verdicts; KFork is the optional
 	// k-Fork Coherence report (nil when Spec.CheckK == 0).
 	SC, EC *consistency.Verdict
@@ -140,62 +111,57 @@ func (o *Outcome) MissingExpected() []string {
 	return out
 }
 
-// buildFaults resolves the fault specs into a schedule (nil when none).
-func (s Spec) buildFaults() *simnet.Schedule {
-	if len(s.Faults) == 0 {
-		return nil
+// options lowers the spec onto the public run options.
+func (s Spec) options(seed uint64) []btsim.Option {
+	return []btsim.Option{
+		btsim.WithN(s.N),
+		btsim.WithRounds(s.Rounds),
+		btsim.WithSeed(seed),
+		btsim.WithReadEvery(s.ReadEvery),
+		btsim.WithDelta(s.Delta),
+		btsim.WithDifficulty(s.Difficulty),
+		btsim.WithMerits(s.Merits...),
+		btsim.WithFaults(s.Faults...),
+		btsim.WithAdversary(s.Adversary),
+		btsim.WithFaultLog(true),
 	}
-	sched := &simnet.Schedule{}
-	for _, f := range s.Faults {
-		sched.Windows = append(sched.Windows, f.Window(s.N))
-	}
-	return sched
 }
 
-// common assembles the shared protocol config.
-func (s Spec) common(seed uint64) protocols.Config {
-	return protocols.Config{
-		N:            s.N,
-		Rounds:       s.Rounds,
-		Seed:         seed,
-		ReadEvery:    s.ReadEvery,
-		Merits:       s.Merits,
-		Faults:       s.buildFaults(),
-		RecordFaults: true,
-		Adversary:    s.Adversary,
+// Validate reports whether the spec can run at all: the system must be
+// registered and the adversary strategy known. Sweep validates once up
+// front so its workers cannot fail individually.
+func (s Spec) Validate() error {
+	if _, err := btsim.Get(s.System); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	switch s.Adversary.Strategy {
+	case "", btsim.Selfish, btsim.Withhold, btsim.Equivocate:
+	default:
+		return fmt.Errorf("scenario %q: unknown adversary strategy %q", s.Name, s.Adversary.Strategy)
+	}
+	return nil
 }
 
 // Run executes the scenario with the given seed (0 means Spec.Seed) and
-// checks it. It panics on an unknown System — the catalogue is static
-// and a typo should fail loudly.
-func (s Spec) Run(seed uint64) *Outcome {
+// checks it. An unregistered System (or any other invalid knob) returns
+// an error naming the registered options — never a silent zero outcome.
+func (s Spec) Run(seed uint64) (*Outcome, error) {
 	if seed == 0 {
 		seed = s.Seed
 	}
-	var res *protocols.Result
-	switch s.System {
-	case "bitcoin":
-		cfg := bitcoin.Config{Difficulty: s.Difficulty, Delta: s.Delta}
-		cfg.Config = s.common(seed)
-		res = bitcoin.Run(cfg)
-	case "ethereum":
-		cfg := ethereum.Config{Difficulty: s.Difficulty, Delta: s.Delta}
-		cfg.Config = s.common(seed)
-		res = ethereum.Run(cfg)
-	case "fabric":
-		cfg := fabric.Config{Delta: s.Delta}
-		cfg.Config = s.common(seed)
-		res = fabric.Run(cfg)
-	default:
-		panic(fmt.Sprintf("scenario: unknown system %q", s.System))
+	sys, err := btsim.Get(s.System)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	res, err := sys.Run(btsim.NewConfig(s.options(seed)...))
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 
-	chk := consistency.NewChecker(res.Score, core.WellFormed{})
-	sc, ec := chk.Classify(res.History)
+	sc, ec := res.Check()
 	o := &Outcome{Spec: s, Seed: seed, Res: res, SC: sc, EC: ec, Witnesses: map[string]consistency.Witness{}}
 	if s.CheckK > 0 {
-		o.KFork = chk.KForkCoherence(res.History, s.CheckK)
+		o.KFork = res.KFork(s.CheckK)
 	}
 
 	reports := map[string]*consistency.Report{}
@@ -227,32 +193,28 @@ func (s Spec) Run(seed uint64) *Outcome {
 		}
 	}
 	o.Digest = Digest(o)
+	return o, nil
+}
+
+// MustRun is Run for specs known to be valid — the static catalogue,
+// tests, pinned-digest replays. It panics on error.
+func (s Spec) MustRun(seed uint64) *Outcome {
+	o, err := s.Run(seed)
+	if err != nil {
+		panic(err)
+	}
 	return o
 }
 
 // Digest folds the run — every recorded operation and communication
 // event, every replica tree, the fault log, and all verdicts — into one
-// hash: the byte-identical-replay check of the acceptance criteria. It
-// deliberately mirrors the root determinism test's pipelineDigest and
-// extends it with the fault log.
+// hash: the byte-identical-replay check of the acceptance criteria. The
+// run content comes from btsim's shared replay fold (Result.DigestInto,
+// which also mirrors the root determinism test's pipelineDigest); the
+// scenario digest extends it with the criterion verdicts.
 func Digest(o *Outcome) string {
 	h := fnv.New64a()
-	io.WriteString(h, o.Res.History.String())
-	for _, op := range o.Res.History.Ops {
-		io.WriteString(h, op.String())
-	}
-	for _, e := range o.Res.History.Comm {
-		io.WriteString(h, e.String())
-	}
-	for _, t := range o.Res.Trees {
-		for _, b := range t.Blocks() {
-			io.WriteString(h, string(b.ID))
-			io.WriteString(h, string(b.Parent))
-		}
-	}
-	for _, e := range o.Res.FaultEvents {
-		io.WriteString(h, e.String())
-	}
+	o.Res.DigestInto(h)
 	fmt.Fprintf(h, "SC=%v%v EC=%v%v", o.SC.OK, o.SC.Failing(), o.EC.OK, o.EC.Failing())
 	if o.KFork != nil {
 		fmt.Fprintf(h, " kFC=%v", o.KFork.OK)
@@ -263,8 +225,12 @@ func Digest(o *Outcome) string {
 // Sweep runs the spec across the given seeds with at most workers
 // concurrent runs (workers <= 0 means 4). Outcomes are returned in seed
 // order regardless of completion order, so a sweep is as deterministic
-// as a single run.
-func Sweep(spec Spec, seeds []uint64, workers int) []*Outcome {
+// as a single run. The spec is validated once up front; an invalid spec
+// returns the error before any run starts.
+func Sweep(spec Spec, seeds []uint64, workers int) ([]*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	if workers <= 0 {
 		workers = 4
 	}
@@ -272,6 +238,7 @@ func Sweep(spec Spec, seeds []uint64, workers int) []*Outcome {
 		workers = len(seeds)
 	}
 	out := make([]*Outcome, len(seeds))
+	errs := make([]error, len(seeds))
 	type job struct {
 		i    int
 		seed uint64
@@ -281,7 +248,7 @@ func Sweep(spec Spec, seeds []uint64, workers int) []*Outcome {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				out[j.i] = spec.Run(j.seed)
+				out[j.i], errs[j.i] = spec.Run(j.seed)
 			}
 			done <- struct{}{}
 		}()
@@ -293,7 +260,12 @@ func Sweep(spec Spec, seeds []uint64, workers int) []*Outcome {
 	for w := 0; w < workers; w++ {
 		<-done
 	}
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // SweepSummary aggregates a sweep: how often each property broke.
