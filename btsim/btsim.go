@@ -87,11 +87,22 @@ func (s *sysFunc) Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
 	}
 	cfg.system = s.info.Name
+	if cfg.Monitor || cfg.Streaming {
+		cfg.monrun = &monitorRun{
+			k:         cfg.MonitorK,
+			streaming: cfg.Streaming,
+			segSize:   cfg.StreamSegment,
+			onWitness: cfg.OnWitness,
+		}
+	}
 	res, err := s.run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
 	}
 	res.Info = s.info
+	if cfg.monrun != nil {
+		cfg.monrun.finish(res)
+	}
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/adversary"
+	"repro/internal/consistency"
 	"repro/internal/protocols"
 	"repro/internal/simnet"
 	"repro/internal/tape"
@@ -106,6 +107,10 @@ type Progress struct {
 	Round, Rounds int
 	// Now is the simulator's virtual time.
 	Now int64
+	// LiveWitnesses counts the violation witnesses the run's online
+	// monitor has emitted so far (0 when no monitor is attached) — the
+	// live-verdict feed of WithMonitor/WithStreaming runs.
+	LiveWitnesses int
 }
 
 // Config is the uniform knob set every registered system runs under,
@@ -148,10 +153,34 @@ type Config struct {
 	// FaultLog forces the network fault-event log on even for benign
 	// runs (it is implied whenever Faults or an Adversary is set).
 	FaultLog bool
+	// Monitor attaches an online consistency monitor to the run
+	// (history still retained; Result.Stream carries the streaming
+	// verdicts next to the batch ones). See WithMonitor.
+	Monitor bool
+	// MonitorK, when > 0, additionally tracks k-Fork Coherence online,
+	// with live witnesses at the (k+1)-th token reuse. Implies Monitor.
+	MonitorK int
+	// OnWitness receives each violation witness the moment it forms
+	// (requires Monitor). It is called from inside the recording path:
+	// keep it fast and do not call back into the run.
+	OnWitness func(consistency.Witness)
+	// Streaming switches the run to bounded-memory recording: history
+	// is streamed through sealed segments into the monitor and
+	// released, never retained. Result.History then holds only the
+	// still-pending operations — Result.Stream is the verdict. Implies
+	// Monitor. See WithStreaming.
+	Streaming bool
+	// StreamSegment is the streaming segment size in operations
+	// (0 means history.DefaultSegmentSize).
+	StreamSegment int
 
 	// system is stamped by System.Run before the adapter sees the
 	// Config, so Base can label Progress events.
 	system string
+	// monrun is the run's streaming state, created by System.Run when
+	// Monitor/Streaming is on. Config travels by value; the shared
+	// pointer is how Base's hook and the post-run finisher meet.
+	monrun *monitorRun
 }
 
 // Option mutates a Config; build one with NewConfig or pass options
@@ -216,6 +245,44 @@ func WithObserver(fn func(Progress) bool) Option { return func(c *Config) { c.Ob
 // WithAdversary).
 func WithFaultLog(on bool) Option { return func(c *Config) { c.FaultLog = on } }
 
+// WithMonitor attaches an online consistency monitor: the run's history
+// is checked incrementally as it is recorded, violation witnesses are
+// delivered to onWitness (may be nil) the moment they form, and
+// Result.Stream carries the finalized streaming verdicts — equivalent
+// to the batch Check() — alongside the batch history, which is still
+// retained.
+func WithMonitor(onWitness func(consistency.Witness)) Option {
+	return func(c *Config) {
+		c.Monitor = true
+		c.OnWitness = onWitness
+	}
+}
+
+// WithMonitorK additionally tracks k-Fork Coherence online with the
+// given bound (live witnesses at the (k+1)-th token reuse). Implies
+// WithMonitor.
+func WithMonitorK(k int) Option {
+	return func(c *Config) {
+		c.Monitor = true
+		c.MonitorK = k
+	}
+}
+
+// WithStreaming runs in bounded-memory mode: operations stream through
+// sealed fixed-size segments (segment ≤ 0 means the default size) into
+// the online monitor and are released — resident memory is independent
+// of run length, which is what makes ≥1M-op runs checkable at all. The
+// trade: Result.History holds only the still-pending operations, so
+// batch Check()/Digest() see an empty run; Result.Stream is the
+// verdict. Implies WithMonitor.
+func WithStreaming(segment int) Option {
+	return func(c *Config) {
+		c.Monitor = true
+		c.Streaming = true
+		c.StreamSegment = segment
+	}
+}
+
 // validate rejects configurations no system can run.
 func (c Config) validate() error {
 	if c.N < 0 {
@@ -244,6 +311,12 @@ func (c Config) validate() error {
 		if f.End != NoHeal && f.End < f.Start {
 			return fmt.Errorf("fault %s ends before it starts", f)
 		}
+	}
+	if c.MonitorK < 0 {
+		return fmt.Errorf("negative MonitorK %d", c.MonitorK)
+	}
+	if c.OnWitness != nil && !c.Monitor {
+		return fmt.Errorf("OnWitness requires the monitor (use WithMonitor)")
 	}
 	return nil
 }
@@ -284,7 +357,7 @@ func (c Config) Base() protocols.Config {
 		pc.Faults = sched
 	}
 	if c.Observer != nil {
-		obs, system := c.Observer, c.system
+		obs, system, mr := c.Observer, c.system, c.monrun
 		// Progress reports the effective round count: 0 means the
 		// shared default (protocols.Config.Norm), so observers can
 		// guard on p.Round < p.Rounds and compute percentages.
@@ -293,8 +366,14 @@ func (c Config) Base() protocols.Config {
 			rounds = 50
 		}
 		pc.Observer = func(round int, now int64) bool {
-			return obs(Progress{System: system, Round: round, Rounds: rounds, Now: now})
+			return obs(Progress{
+				System: system, Round: round, Rounds: rounds, Now: now,
+				LiveWitnesses: mr.liveWitnesses(),
+			})
 		}
+	}
+	if c.monrun != nil {
+		pc.Stream = c.monrun.bind
 	}
 	return pc
 }

@@ -20,6 +20,12 @@ type Result struct {
 	*protocols.Result
 	// Info is the descriptor of the system that produced the run.
 	Info Info
+	// Stream carries the online monitor's verdicts when the run was
+	// configured with WithMonitor or WithStreaming (nil otherwise).
+	// With WithMonitor it sits alongside the batch history — Check()
+	// and Stream.SC/EC are diff-tested equivalent; with WithStreaming
+	// it is the only verdict, since no batch history was retained.
+	Stream *StreamOutcome
 }
 
 // Check classifies the recorded history against both consistency

@@ -1,0 +1,121 @@
+package btsim
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// StreamOutcome is the online-monitor side of a Result: the verdicts an
+// attached consistency.Monitor reached by watching the run's history as
+// it was recorded, instead of classifying the batch snapshot post-hoc.
+// For any completed run the two agree (the monitor's Finalize is
+// specified — and diff-tested — to be equivalent to batch Classify);
+// the streaming side additionally carries the witnesses that were
+// emitted live, and with WithStreaming it is the only verdict there is,
+// since the run retained no batch history.
+type StreamOutcome struct {
+	// SC and EC are the finalized criterion verdicts.
+	SC, EC *consistency.Verdict
+	// KFork is the k-Fork Coherence report for WithMonitorK's k (nil
+	// when no k was configured).
+	KFork *consistency.Report
+	// Live holds the witnesses emitted while the run was in flight
+	// (capped at liveKeep); LiveCount is the uncapped total.
+	Live      []consistency.Witness
+	LiveCount int
+	// Segments and Ops describe the streamed history: sealed segment
+	// count (WithStreaming only) and operations consumed.
+	Segments, Ops int
+	// Stats is the monitor's retained-state summary — the observable
+	// side of the bounded-memory claim.
+	Stats consistency.MonitorStats
+}
+
+// liveKeep caps how many live witnesses a StreamOutcome retains.
+const liveKeep = 64
+
+// monitorRun carries one run's streaming state from option processing
+// (sysFunc.Run) through the protocol adapter (Config.Base wires bind as
+// the protocols.Config.Stream hook) to finalization after the run.
+// Config is passed by value everywhere, so the shared pointer is what
+// lets the post-run finisher see what the in-run hook built.
+type monitorRun struct {
+	k         int
+	streaming bool
+	segSize   int
+	onWitness func(consistency.Witness)
+
+	rec  *history.Recorder
+	mon  *consistency.Monitor
+	seg  *history.SegmentSink
+	live []consistency.Witness
+	n    int
+}
+
+// bind is the protocols.Config.Stream hook: the runner hands over its
+// recorder (and score function) right after building the replica group,
+// before the first operation is recorded.
+func (mr *monitorRun) bind(rec *history.Recorder, score core.Score) {
+	mr.rec = rec
+	mr.mon = consistency.NewMonitor(consistency.MonitorConfig{
+		Procs: rec.Procs(),
+		Score: score,
+		P:     core.WellFormed{}, // what Result.Check classifies with
+		K:     mr.k,
+		Table: rec.Table(),
+		OnWitness: func(w consistency.Witness) {
+			mr.n++
+			if len(mr.live) < liveKeep {
+				mr.live = append(mr.live, w)
+			}
+			if mr.onWitness != nil {
+				mr.onWitness(w)
+			}
+		},
+	})
+	if mr.streaming {
+		mr.seg = history.NewSegmentSink(mr.segSize, mr.mon.ConsumeSegment)
+		mr.seg.OnFaulty = mr.mon.Faulty
+		rec.SetSink(mr.seg)
+		rec.SetRetain(false)
+	} else {
+		rec.SetSink(mr.mon)
+	}
+}
+
+// finish seals the stream, feeds the still-pending operations, and
+// stamps the finalized StreamOutcome onto the Result.
+func (mr *monitorRun) finish(res *Result) {
+	if mr.mon == nil {
+		return // the adapter never bound a recorder
+	}
+	if mr.seg != nil {
+		mr.seg.Seal()
+	}
+	for _, op := range mr.rec.PendingOps() {
+		mr.mon.OpPending(op)
+	}
+	sc, ec := mr.mon.Finalize()
+	so := &StreamOutcome{
+		SC: sc, EC: ec,
+		Live: mr.live, LiveCount: mr.n,
+		Stats: mr.mon.Stats(),
+	}
+	so.Ops = so.Stats.Ops
+	if mr.seg != nil {
+		so.Segments = mr.seg.Sealed()
+	}
+	if mr.k > 0 {
+		so.KFork = mr.mon.KForkReport(mr.k)
+	}
+	res.Stream = so
+}
+
+// liveWitnesses is read by the Progress observer wrapper.
+func (mr *monitorRun) liveWitnesses() int {
+	if mr == nil {
+		return 0
+	}
+	return mr.n
+}

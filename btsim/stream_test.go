@@ -1,0 +1,162 @@
+package btsim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/btsim"
+	_ "repro/btsim/systems"
+	"repro/internal/consistency"
+)
+
+// verdictText flattens a verdict for equality checks: OK flags, failing
+// property names, Checked counts, every violation string and witness.
+func verdictText(v *consistency.Verdict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ok=%v failing=%v\n", v.Criterion, v.OK, v.Failing())
+	for _, rep := range v.Reports {
+		fmt.Fprintf(&b, "%s ok=%v checked=%d\n", rep.Property, rep.OK, rep.Checked)
+		for _, viol := range rep.Violations {
+			fmt.Fprintf(&b, "V %s\n", viol)
+		}
+		for _, w := range rep.Witnesses {
+			fmt.Fprintf(&b, "W %s |", w.Detail)
+			for _, op := range w.Ops {
+				fmt.Fprintf(&b, " %s", op)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func reportText(rep *consistency.Report) string {
+	if rep == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s ok=%v checked=%d viol=%v\n", rep.Property, rep.OK, rep.Checked, rep.Violations)
+	return b.String()
+}
+
+// TestMonitorMatchesBatchAcrossSystems runs every registered system in
+// tee mode (monitor attached, history retained) and requires the
+// streaming verdicts to equal batch Check() exactly — including an
+// adversarial bitcoin run that actually violates properties.
+func TestMonitorMatchesBatchAcrossSystems(t *testing.T) {
+	type run struct {
+		name string
+		opts []btsim.Option
+	}
+	runs := []run{}
+	for _, sys := range btsim.Systems() {
+		runs = append(runs, run{sys.Name(), []btsim.Option{
+			btsim.WithN(4), btsim.WithRounds(30), btsim.WithSeed(11),
+		}})
+	}
+	runs = append(runs, run{"bitcoin", []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(7),
+		btsim.WithMerits(1, 1, 1, 2),
+		btsim.WithAdversary(btsim.Adversary{Strategy: btsim.Equivocate, Forks: 2}),
+	}})
+	runs = append(runs, run{"ethereum", []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(50), btsim.WithSeed(3),
+		btsim.WithFaults(btsim.Fault{Start: 40, End: btsim.NoHeal, Left: []int{0, 1}}),
+	}})
+
+	for _, r := range runs {
+		opts := append(r.opts, btsim.WithMonitor(nil), btsim.WithMonitorK(1))
+		res, err := btsim.Run(r.name, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if res.Stream == nil {
+			t.Fatalf("%s: no StreamOutcome despite WithMonitor", r.name)
+		}
+		bsc, bec := res.Check()
+		if got, want := verdictText(res.Stream.SC), verdictText(bsc); got != want {
+			t.Errorf("%s: SC stream != batch:\n--- batch ---\n%s--- stream ---\n%s", r.name, want, got)
+		}
+		if got, want := verdictText(res.Stream.EC), verdictText(bec); got != want {
+			t.Errorf("%s: EC stream != batch:\n--- batch ---\n%s--- stream ---\n%s", r.name, want, got)
+		}
+		if got, want := reportText(res.Stream.KFork), reportText(res.KFork(1)); got != want {
+			t.Errorf("%s: KFork stream != batch:\n--- batch ---\n%s--- stream ---\n%s", r.name, want, got)
+		}
+		if res.Stream.Ops == 0 {
+			t.Errorf("%s: monitor consumed no ops", r.name)
+		}
+	}
+}
+
+// TestStreamingModeMatchesTeeMode runs the same configuration twice —
+// bounded-memory streaming vs. monitor-with-history — and requires
+// identical verdicts, while the streaming run's Result.History must not
+// have retained the run.
+func TestStreamingModeMatchesTeeMode(t *testing.T) {
+	base := []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(5),
+		btsim.WithMerits(1, 1, 1, 2),
+		btsim.WithAdversary(btsim.Adversary{Strategy: btsim.Selfish, Lead: 2}),
+	}
+	tee, err := btsim.Run("bitcoin", append(base[:len(base):len(base)], btsim.WithMonitor(nil))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := btsim.Run("bitcoin", append(base[:len(base):len(base)], btsim.WithStreaming(128))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := verdictText(stream.Stream.SC), verdictText(tee.Stream.SC); got != want {
+		t.Errorf("streaming SC != tee SC:\n--- tee ---\n%s--- streaming ---\n%s", want, got)
+	}
+	if got, want := verdictText(stream.Stream.EC), verdictText(tee.Stream.EC); got != want {
+		t.Errorf("streaming EC != tee EC:\n--- tee ---\n%s--- streaming ---\n%s", want, got)
+	}
+	if stream.Stream.Segments == 0 {
+		t.Error("streaming run sealed no segments")
+	}
+	if len(stream.History.Ops) >= len(tee.History.Ops) {
+		t.Errorf("streaming run retained the history: %d ops (tee run: %d)",
+			len(stream.History.Ops), len(tee.History.Ops))
+	}
+}
+
+// TestObserverSeesLiveWitnesses checks the live channel: the observer's
+// Progress carries a growing witness count during a violating run, and
+// OnWitness receives the structured witnesses themselves.
+func TestObserverSeesLiveWitnesses(t *testing.T) {
+	var fromCallback []consistency.Witness
+	maxSeen := 0
+	res, err := btsim.Run("bitcoin",
+		btsim.WithN(4), btsim.WithRounds(80), btsim.WithSeed(7),
+		btsim.WithMerits(1, 1, 1, 2),
+		btsim.WithAdversary(btsim.Adversary{Strategy: btsim.Equivocate, Forks: 2}),
+		btsim.WithMonitor(func(w consistency.Witness) { fromCallback = append(fromCallback, w) }),
+		btsim.WithMonitorK(1),
+		btsim.WithObserver(func(p btsim.Progress) bool {
+			if p.LiveWitnesses > maxSeen {
+				maxSeen = p.LiveWitnesses
+			}
+			return true
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCallback) == 0 {
+		t.Fatal("equivocation run emitted no live witnesses")
+	}
+	if maxSeen == 0 {
+		t.Error("observer never saw a nonzero LiveWitnesses count")
+	}
+	if res.Stream.LiveCount != len(fromCallback) {
+		t.Errorf("LiveCount=%d but callback saw %d", res.Stream.LiveCount, len(fromCallback))
+	}
+	for _, w := range fromCallback {
+		if w.Property == "" || w.Detail == "" {
+			t.Errorf("malformed live witness: %+v", w)
+		}
+	}
+}

@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-dir .] [-count 1] [-filter substring] [-label note]
+//	go run ./cmd/bench [-dir .] [-count 1] [-filter substring] [-label note] [-compare]
+//
+// Besides wall time and cumulative allocations, every entry records its
+// peak live heap (sampled concurrently during the run): the batch and
+// -stream entries execute identical workloads, so -compare (on by
+// default) renders the batch-vs-stream trade directly — wall time next
+// to peak resident memory — which is how ablation #10's numbers are
+// produced.
 //
 // A CI step (or a release ritual) runs it after performance-relevant
 // changes; the committed BENCH_*.json files make regressions diffable.
@@ -20,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/benchsuite"
@@ -32,6 +40,10 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"b_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	// PeakBytes is the maximum live heap (HeapAlloc) sampled while the
+	// case ran — the resident-memory high-water mark. Old snapshots
+	// predate the field and read back as 0.
+	PeakBytes int64 `json:"peak_b,omitempty"`
 }
 
 // Snapshot is the schema of a BENCH_<date>.json file.
@@ -44,11 +56,39 @@ type Snapshot struct {
 	Entries   []Entry `json:"entries"`
 }
 
+// samplePeak polls the live heap until stop is closed and reports the
+// high-water mark through peak. 2ms sampling is coarse against
+// individual spikes but faithful for the sustained plateaus the
+// pipeline workloads produce.
+func samplePeak(stop <-chan struct{}, done *sync.WaitGroup, peak *int64) {
+	defer done.Done()
+	read := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if int64(ms.HeapAlloc) > *peak {
+			*peak = int64(ms.HeapAlloc)
+		}
+	}
+	read()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			read()
+			return
+		case <-tick.C:
+			read()
+		}
+	}
+}
+
 func main() {
 	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
 	count := flag.Int("count", 1, "benchmark iterations per case (benchtime <count>x)")
 	filter := flag.String("filter", "", "run only cases whose name contains this substring")
 	label := flag.String("label", "", "free-form note stored in the snapshot")
+	compare := flag.Bool("compare", true, "report batch-vs-stream pairs: wall time alongside peak memory")
 	flag.Parse()
 
 	snap := Snapshot{
@@ -66,6 +106,11 @@ func main() {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
+		var peak int64
+		stop := make(chan struct{})
+		var done sync.WaitGroup
+		done.Add(1)
+		go samplePeak(stop, &done, &peak)
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			if err := c.Run(); err != nil {
@@ -74,6 +119,8 @@ func main() {
 			}
 		}
 		elapsed := time.Since(start)
+		close(stop)
+		done.Wait()
 		runtime.ReadMemStats(&after)
 		e := Entry{
 			Name:        c.Name,
@@ -81,10 +128,11 @@ func main() {
 			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
 			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
 			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+			PeakBytes:   peak,
 		}
 		snap.Entries = append(snap.Entries, e)
-		fmt.Printf("%-24s %14.0f ns/op %12d B/op %10d allocs/op\n",
-			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Printf("%-32s %14.0f ns/op %12d B/op %10d allocs/op %10s peak\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, mb(e.PeakBytes))
 	}
 	if len(snap.Entries) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no cases matched")
@@ -104,6 +152,10 @@ func main() {
 	}
 	fmt.Printf("\nwrote %s\n", out)
 
+	if *compare {
+		comparePairs(snap.Entries)
+	}
+
 	if prev == nil {
 		fmt.Println("no previous snapshot to compare against")
 		return
@@ -116,12 +168,58 @@ func main() {
 	for _, e := range snap.Entries {
 		p, ok := byName[e.Name]
 		if !ok {
-			fmt.Printf("%-24s (new)\n", e.Name)
+			fmt.Printf("%-32s (new)\n", e.Name)
 			continue
 		}
-		fmt.Printf("%-24s time %+7.1f%%   allocs %+7.1f%%\n",
+		line := fmt.Sprintf("%-32s time %+7.1f%%   allocs %+7.1f%%",
 			e.Name, delta(e.NsPerOp, p.NsPerOp), delta(float64(e.AllocsPerOp), float64(p.AllocsPerOp)))
+		if e.PeakBytes > 0 && p.PeakBytes > 0 {
+			line += fmt.Sprintf("   peak %+7.1f%%", delta(float64(e.PeakBytes), float64(p.PeakBytes)))
+		}
+		fmt.Println(line)
 	}
+}
+
+// comparePairs renders the batch-vs-stream table: for every "<name>"
+// with a "<name>-stream" sibling in the snapshot, the two entries ran
+// the identical workload — one retaining and batch-classifying the full
+// history, one checking online in drop mode — so their wall-time and
+// peak-memory ratio is the measured cost/benefit of the streaming
+// refactor.
+func comparePairs(entries []Entry) {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var lines []string
+	for _, e := range entries {
+		s, ok := byName[e.Name+"-stream"]
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("%-32s time %s → %s (%+.1f%%)",
+			e.Name, dur(e.NsPerOp), dur(s.NsPerOp), delta(s.NsPerOp, e.NsPerOp))
+		if e.PeakBytes > 0 && s.PeakBytes > 0 {
+			line += fmt.Sprintf("   peak %s → %s (%.1fx less)",
+				mb(e.PeakBytes), mb(s.PeakBytes), float64(e.PeakBytes)/float64(s.PeakBytes))
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Println("\nbatch vs stream (identical workloads):")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+}
+
+func mb(b int64) string {
+	return fmt.Sprintf("%.1f MB", float64(b)/1e6)
+}
+
+func dur(ns float64) string {
+	return time.Duration(ns).Round(time.Millisecond).String()
 }
 
 func delta(now, before float64) float64 {

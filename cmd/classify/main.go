@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	classify [-seed N] [-seeds K] [-system name]
+//	classify [-seed N] [-seeds K] [-system name] [-stream] [-adversary strategy]
 //
 // With -system, only that registered system is run and classified (any
 // entry of btsim.Names()). With -seeds K > 1 the classification is
 // repeated over K consecutive seeds and a stability summary is printed
-// (how often each row matched).
+// (how often each row matched). With -stream the run is checked by the
+// online consistency monitor instead of batch Classify: violation
+// witnesses print incrementally as they form, followed by the finalized
+// verdicts; -adversary (selfish, withhold, equivocate) makes witnesses
+// actually appear.
 package main
 
 import (
@@ -20,6 +24,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/btsim"
+	_ "repro/btsim/systems"
+	"repro/internal/consistency"
 	"repro/internal/experiments"
 )
 
@@ -27,7 +34,26 @@ func main() {
 	seed := flag.Uint64("seed", 42, "base seed")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to classify")
 	system := flag.String("system", "", "classify a single registered system by name")
+	stream := flag.Bool("stream", false, "check online: print witnesses incrementally as they form")
+	adv := flag.String("adversary", "", "adversarial strategy for -stream runs (selfish, withhold, equivocate)")
 	flag.Parse()
+
+	if *stream {
+		names := btsim.Names()
+		if *system != "" {
+			names = []string{*system}
+		}
+		fails := 0
+		for _, name := range names {
+			if !classifyStream(name, *seed, *adv) {
+				fails++
+			}
+		}
+		if fails > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *system != "" {
 		classifyOne(*system, *seed, *seeds)
@@ -73,6 +99,47 @@ func main() {
 		fmt.Printf("%d seed(s) had mismatching tables\n", fails)
 		os.Exit(1)
 	}
+}
+
+// classifyStream runs one system with the online monitor attached,
+// printing each violation witness the moment it forms and the finalized
+// streaming verdicts afterwards. Returns whether the run was usable.
+func classifyStream(name string, seed uint64, adv string) bool {
+	sys, err := btsim.Get(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(2)
+	}
+	info := sys.Info()
+	fmt.Printf("=== %s (Θ %s, paper: %s) — streaming check, seed %d ===\n",
+		info.Name, info.Oracle, info.Criterion, seed)
+	opts := []btsim.Option{
+		btsim.WithSeed(seed),
+		btsim.WithMonitor(func(w consistency.Witness) {
+			fmt.Printf("  [live] %-20s %s\n", w.Property, w.Detail)
+		}),
+	}
+	if k := info.K; k > 0 {
+		opts = append(opts, btsim.WithMonitorK(k))
+	}
+	if adv != "" {
+		opts = append(opts,
+			btsim.WithN(4), btsim.WithMerits(1, 1, 1, 2),
+			btsim.WithAdversary(btsim.Adversary{Strategy: adv}))
+	}
+	res, err := sys.Run(btsim.NewConfig(opts...))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(2)
+	}
+	st := res.Stream
+	fmt.Printf("  finalized: SC=%v%v EC=%v%v", st.SC.OK, st.SC.Failing(), st.EC.OK, st.EC.Failing())
+	if st.KFork != nil {
+		fmt.Printf(" %s=%v", st.KFork.Property, st.KFork.OK)
+	}
+	fmt.Printf("  (%d ops checked, %d live witnesses, %d records retained)\n",
+		st.Ops, st.LiveCount, st.Stats.Retained)
+	return true
 }
 
 // classifyOne runs and classifies a single registered system across the

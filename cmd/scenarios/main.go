@@ -12,13 +12,16 @@
 //
 // Usage:
 //
-//	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check]
+//	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check] [-stream] [-long full|smoke]
 //
 // -list prints the catalogue and the registered systems; -seed
 // overrides every pinned seed; -sweep K re-runs each scenario at K
 // consecutive seeds (parallel) and reports how often each property
 // broke; -check exits non-zero when a scenario fails to measure a
-// violation the paper predicts (CI smoke).
+// violation the paper predicts (CI smoke); -stream checks every
+// scenario with the online consistency monitor and exits non-zero if
+// any outcome diverges from batch Classify; -long runs the
+// streaming-only ≥1M-op scenario ("smoke" is the scaled CI variant).
 package main
 
 import (
@@ -39,10 +42,16 @@ func main() {
 	workers := flag.Int("workers", 4, "parallel runs during -sweep")
 	verbose := flag.Bool("v", false, "print every witness and the fault-event log")
 	check := flag.Bool("check", false, "exit 1 if a predicted violation goes unmeasured")
+	stream := flag.Bool("stream", false, "check with the online monitor and diff every outcome against batch Classify")
+	long := flag.String("long", "", `run the streaming-only long-run scenario: "full" (≥1M ops) or "smoke" (CI scale)`)
 	flag.Parse()
 
 	if *list {
 		printList()
+		return
+	}
+	if *long != "" {
+		runLong(*long)
 		return
 	}
 
@@ -56,6 +65,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scenarios:", err)
 			os.Exit(2)
+		}
+		if *stream {
+			so, err := spec.RunStream(*seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios:", err)
+				os.Exit(2)
+			}
+			if so.Digest != o.Digest || fmt.Sprint(so.Violated) != fmt.Sprint(o.Violated) {
+				fmt.Fprintf(os.Stderr, "scenarios: %s: streaming diverges from batch (digest %s vs %s, violated %v vs %v)\n",
+					spec.Name, so.Digest, o.Digest, so.Violated, o.Violated)
+				os.Exit(2)
+			}
+			o = so // identical by construction; report the streamed one
 		}
 		outs = append(outs, o)
 		if missing := o.MissingExpected(); len(missing) > 0 {
@@ -115,6 +137,32 @@ func main() {
 	}
 
 	if *check && failed {
+		os.Exit(1)
+	}
+}
+
+// runLong executes the streaming-only long-run scenario — the ≥1M-op
+// execution no batch classification could hold in memory — and prints
+// its bounded-memory evidence.
+func runLong(mode string) {
+	var spec scenario.LongRunSpec
+	switch mode {
+	case "full":
+		spec = scenario.DefaultLongRun()
+	case "smoke":
+		spec = scenario.SmokeLongRun()
+	default:
+		fmt.Fprintf(os.Stderr, "scenarios: unknown -long mode %q (known: full, smoke)\n", mode)
+		os.Exit(2)
+	}
+	o, err := spec.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(2)
+	}
+	fmt.Println(o)
+	fmt.Printf("  SC: %v  EC: %v\n", o.SC.OK, o.EC.OK)
+	if len(o.Violated) > 0 {
 		os.Exit(1)
 	}
 }

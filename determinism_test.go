@@ -85,6 +85,13 @@ func TestSimScaleDeterminismPinned(t *testing.T) {
 	if gotAdv != wantAdv {
 		t.Fatalf("adversarial SimScale drifted:\n got %+v\nwant %+v", gotAdv, wantAdv)
 	}
+	// The streaming variant runs the identical workload through the
+	// online monitor in drop mode: same blocks, same reads, same comm
+	// events, same verdicts — with no retained history at all.
+	gotStream := benchsuite.RunSimScaleStream(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5})
+	if gotStream != want {
+		t.Fatalf("streaming SimScale diverged from batch:\n got %+v\nwant %+v", gotStream, want)
+	}
 }
 
 // TestScenarioDigestsPinned pins the replay digest of every catalogue

@@ -49,23 +49,34 @@ type ScaleStats struct {
 	ECOK      bool // Eventual Consistency verdict
 }
 
-// RunSimScale executes the full pipeline once: simulate, record, check.
-// The workload is deterministic for a fixed config.
-func RunSimScale(cfg ScaleConfig) ScaleStats {
+// normalize fills the config defaults in place.
+func (cfg *ScaleConfig) normalize() {
 	if cfg.ReadEvery <= 0 {
 		cfg.ReadEvery = int64(cfg.Blocks / 8)
 		if cfg.ReadEvery < 1 {
 			cfg.ReadEvery = 1
 		}
 	}
+}
+
+// benignGroup builds the simulator and replica group every SimScale
+// variant shares: FIFO synchronous flooding, longest-chain selection,
+// well-formedness predicate.
+func benignGroup(cfg ScaleConfig) (*simnet.Sim, *replica.Group) {
 	sim := simnet.NewSim(cfg.Seed)
 	g := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: 3}, core.LongestChain{})
 	g.Net.SetFIFO(true)
 	g.SetPredicate(core.WellFormed{})
+	return sim, g
+}
 
-	// Mining: one block per tick, miner round-robin. The miner extends
-	// its local selected head, which can lag in-flight deliveries by up
-	// to δ ticks — natural short-lived forks, as in the PoW simulators.
+// runBenignWorkload schedules and runs the benign SimScale workload:
+// mining one block per tick (miner round-robin, extending its local
+// selected head — which can lag in-flight deliveries by up to δ ticks,
+// giving natural short-lived forks as in the PoW simulators), periodic
+// read batches at every process, and a post-convergence read batch (the
+// liveness tail window).
+func runBenignWorkload(sim *simnet.Sim, g *replica.Group, cfg ScaleConfig) {
 	for r := 0; r < cfg.Blocks; r++ {
 		r := r
 		p := g.Procs[r%cfg.N]
@@ -75,7 +86,6 @@ func RunSimScale(cfg ScaleConfig) ScaleStats {
 			p.AppendLocal(blk)
 		})
 	}
-	// Periodic read batches at every process.
 	for t := cfg.ReadEvery; t <= int64(cfg.Blocks); t += cfg.ReadEvery {
 		tt := t
 		sim.Schedule(tt, func() {
@@ -85,10 +95,17 @@ func RunSimScale(cfg ScaleConfig) ScaleStats {
 		})
 	}
 	sim.RunUntilIdle()
-	// Post-convergence read batch: the liveness tail window.
 	for _, pr := range g.Procs {
 		pr.Read()
 	}
+}
+
+// RunSimScale executes the full pipeline once: simulate, record, check.
+// The workload is deterministic for a fixed config.
+func RunSimScale(cfg ScaleConfig) ScaleStats {
+	cfg.normalize()
+	sim, g := benignGroup(cfg)
+	runBenignWorkload(sim, g, cfg)
 
 	h := g.History()
 	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
@@ -113,16 +130,8 @@ func RunSimScale(cfg ScaleConfig) ScaleStats {
 // violation-bearing checker runs — against the benign baseline
 // (DESIGN.md ablation #8).
 func RunSimScaleAdversarial(cfg ScaleConfig) ScaleStats {
-	if cfg.ReadEvery <= 0 {
-		cfg.ReadEvery = int64(cfg.Blocks / 8)
-		if cfg.ReadEvery < 1 {
-			cfg.ReadEvery = 1
-		}
-	}
-	sim := simnet.NewSim(cfg.Seed)
-	g := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: 3}, core.LongestChain{})
-	g.Net.SetFIFO(true)
-	g.SetPredicate(core.WellFormed{})
+	cfg.normalize()
+	sim, g := benignGroup(cfg)
 
 	// Two split-brain windows, each a quarter of the run long, both
 	// healed well before the end so the final reads can converge.
@@ -253,7 +262,11 @@ func scaleAdvCase(cfg ScaleConfig) Case {
 
 // Cases returns the tracked suite, smallest first. All entries are
 // deterministic and self-verifying; the -adv entries track the
-// attack-scenario pipeline cost alongside the benign runs.
+// attack-scenario pipeline cost alongside the benign runs, and the
+// -stream entries run the identical workload through the online monitor
+// (segmented, drop mode) so cmd/bench can price batch vs. streaming —
+// wall time and peak memory — on the same executions. The LongRun pair
+// is the ≥1M-op workload of DESIGN.md ablation #10.
 func Cases() []Case {
 	return []Case{
 		scaleCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
@@ -262,5 +275,8 @@ func Cases() []Case {
 		scaleAdvCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
+		scaleStreamCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
+		longRunCase(false),
+		longRunCase(true),
 	}
 }

@@ -1,0 +1,156 @@
+// The streaming side of the tracked suite: the same workloads as the
+// batch cases, checked by the online consistency monitor instead of a
+// post-hoc Classify. Paired batch/-stream entries let cmd/bench report
+// the record→check refactor's trade on identical executions — wall time
+// and peak resident memory — and the LongRun pair is the ≥1M-operation
+// workload behind DESIGN.md ablation #10: at that scale the batch path
+// must hold the entire history, while the streaming path's resident
+// state is bounded by the block tree and the monitor's window.
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/btsim"
+	_ "repro/btsim/systems" // register "fabric" for the LongRun cases
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// RunSimScaleStream executes the benign SimScale workload through the
+// streaming path: a segmented sink feeds the online monitor, the
+// recorder runs in drop mode (no retained history), and the verdicts
+// come from Finalize. For a fixed config its ScaleStats equal
+// RunSimScale's exactly — the determinism suite pins this.
+func RunSimScaleStream(cfg ScaleConfig) ScaleStats {
+	cfg.normalize()
+	sim, g := benignGroup(cfg)
+
+	mon := consistency.NewMonitor(consistency.MonitorConfig{
+		Procs: cfg.N,
+		Score: core.LengthScore{},
+		P:     core.WellFormed{},
+		Table: g.Rec.Table(),
+	})
+	seg := history.NewSegmentSink(0, mon.ConsumeSegment)
+	seg.OnFaulty = mon.Faulty
+	g.Rec.SetSink(seg)
+	g.Rec.SetRetain(false)
+
+	runBenignWorkload(sim, g, cfg)
+
+	seg.Seal()
+	for _, op := range g.Rec.PendingOps() {
+		mon.OpPending(op)
+	}
+	sc, ec := mon.Finalize()
+	st := mon.Stats()
+
+	return ScaleStats{
+		Blocks:    g.Procs[0].Tree().Len() - 1,
+		Reads:     st.Reads,
+		CommEvts:  st.Comm,
+		MaxHeight: g.Procs[0].Tree().Height(),
+		SCOK:      sc.OK,
+		ECOK:      ec.OK,
+	}
+}
+
+// scaleStreamCase wraps one streaming SimScale config. Like scaleCase
+// it must satisfy EC and attach every block; additionally the recorder
+// retained nothing, so passing at all means the monitor alone carried
+// the verdict.
+func scaleStreamCase(cfg ScaleConfig) Case {
+	name := fmt.Sprintf("SimScale/N%d-b%d-stream", cfg.N, cfg.Blocks)
+	run := func() error {
+		st := RunSimScaleStream(cfg)
+		if !st.ECOK {
+			return fmt.Errorf("%s: EC violated on a lossless synchronous run", name)
+		}
+		if st.Blocks != cfg.Blocks {
+			return fmt.Errorf("%s: %d blocks attached, want %d", name, st.Blocks, cfg.Blocks)
+		}
+		return nil
+	}
+	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}
+
+// longRunN/longRunRounds pin the ≥1M-op workload: fabric at N=48 with
+// reads every virtual-time unit records ~1.16M operations in 8000
+// rounds (op count scales with N × virtual time; simulator wall time is
+// superlinear in rounds, so the scale lives in N).
+const (
+	longRunN      = 48
+	longRunRounds = 8000
+	longRunSeed   = 2026
+	longRunMinOps = 1_000_000
+)
+
+// RunLongRun executes the fabric long-run workload through either
+// path. Batch retains the full history and classifies it post hoc;
+// stream checks online in drop mode. Ops counts the recorded
+// operations, Segments the sealed segments (0 for batch).
+func RunLongRun(stream bool) (ops, segments int, scOK, ecOK bool, err error) {
+	opts := []btsim.Option{
+		btsim.WithN(longRunN),
+		btsim.WithRounds(longRunRounds),
+		btsim.WithSeed(longRunSeed),
+		btsim.WithReadEvery(1),
+	}
+	if stream {
+		opts = append(opts, btsim.WithStreaming(0))
+	}
+	res, err := btsim.Run("fabric", opts...)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if stream {
+		st := res.Stream
+		return st.Ops, st.Segments, st.SC.OK, st.EC.OK, nil
+	}
+	sc, ec := res.Check()
+	return len(res.History.Ops), 0, sc.OK, ec.OK, nil
+}
+
+// longRunCase wraps one side of the long-run pair. Both sides are
+// benign fabric, so both criteria must hold, and the run must actually
+// reach the ≥1M-op scale the ablation claims.
+func longRunCase(stream bool) Case {
+	name := fmt.Sprintf("LongRun/fabric-n%d-r%d", longRunN, longRunRounds)
+	if stream {
+		name += "-stream"
+	}
+	run := func() error {
+		ops, segments, scOK, ecOK, err := RunLongRun(stream)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !scOK || !ecOK {
+			return fmt.Errorf("%s: verdicts SC=%v EC=%v on a benign fabric run", name, scOK, ecOK)
+		}
+		if ops < longRunMinOps {
+			return fmt.Errorf("%s: only %d ops recorded, want ≥ %d", name, ops, longRunMinOps)
+		}
+		if stream && segments < 2 {
+			return fmt.Errorf("%s: only %d segments sealed", name, segments)
+		}
+		return nil
+	}
+	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}}
+}

@@ -1,0 +1,916 @@
+// The online Monitor family: the batch checkers of consistency.go
+// refactored into incremental form. A Monitor implements history.Sink —
+// operations are fed to it the moment their response is recorded — and
+// maintains O(tree + window) state instead of the whole history:
+//
+//   - StrongPrefix: per-chain-length run-length structure over the
+//     interned chain handles, plus a live comparability probe against
+//     the longest chain read so far;
+//   - 1-/k-ForkCoherence: per-token append groups, flagged live the
+//     moment a token is consumed a (k+1)-th time;
+//   - EverGrowingTree / EventualPrefix: a sliding window of the last w
+//     reads (the finitary liveness tail) with bounded per-score-class
+//     candidate retention, so the windowed MCPS state never grows with
+//     the run;
+//   - BlockValidity / LocalMonotonicRead: incremental per-chain facts
+//     and per-process previous-read state.
+//
+// Violation Witnesses are emitted through OnWitness the moment they
+// form (live channel, advisory for the window properties), and
+// Finalize() reconstructs Verdicts equivalent to batch Classify: OK
+// flags, Violations and Witnesses (details, op identities, blocks) are
+// byte-identical. Report.Checked counts are reconstructed exactly for
+// histories whose completed operations are atomic (invocation and
+// response adjacent — every simulator run); they may differ from the
+// batch count on histories with overlapping completed operations, which
+// is documented as the one permitted divergence.
+//
+// Boundedness: retained state is O(#blocks + #distinct chains + w +
+// (MaxViolations+procs)·#distinct scores + #successful appends) — all
+// bounded by the block tree and the window, never by the number of
+// reads, which dominate long runs.
+//
+// Soundness of the bounded candidate retention (the "staircase" bound):
+// within one retention class (a score class for EGT/EP, a suspect chain
+// for BV) the violation status is monotone in the response index — if a
+// read is violated, any same-class read with an earlier-or-equal
+// response is violated too. A read evicted from the first
+// MaxViolations+procs (by invocation order) therefore has at least
+// MaxViolations+procs earlier-invoked classmates, of which at most
+// procs−1 can be non-violated when the evicted read is violated (a
+// non-violated earlier-invoked classmate must respond after the evicted
+// read responds, i.e. span it entirely; processes are sequential, so at
+// most one op per other process spans any instant). That leaves ≥
+// MaxViolations+1 violated reads strictly earlier in the batch checking
+// order: the evicted read can never be among the MaxViolations reported
+// witnesses.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// MonitorConfig parameterizes a Monitor.
+type MonitorConfig struct {
+	// Procs is the process count of the monitored run (the recorder's).
+	Procs int
+	// Score and P mirror Checker.Score / Checker.P (nil means length
+	// score / always-valid).
+	Score core.Score
+	P     core.Predicate
+	// Horizon overrides the liveness tail-window size; 0 means
+	// max(2, Procs) — the batch checker's default.
+	Horizon int
+	// K, when > 0, arms the live k-Fork Coherence probe: a witness is
+	// emitted the moment a token is consumed a (K+1)-th time. Token
+	// groups are tracked regardless, so KForkReport works for any k.
+	K int
+	// Table is the run's shared chain table; witness reconstruction and
+	// incremental scoring materialize chains from it without growing
+	// its memo cache. May be nil for histories recorded with explicit
+	// chains (RespondRead), which the monitor retains on the few ops it
+	// keeps.
+	Table *history.ChainTable
+	// OnWitness, when set, receives each violation witness the moment
+	// it forms. It runs under the recorder's lock: keep it fast and do
+	// not call back into the recorder. Live witnesses for the window
+	// properties (EverGrowingTree, EventualPrefix) cannot exist — those
+	// violations are defined over the final window and only form at
+	// Finalize; live StrongPrefix witnesses are advisory incomparable
+	// pairs (the exact batch witness set comes from Finalize).
+	OnWitness func(Witness)
+}
+
+// opRec is the compact record of one operation the monitors retain:
+// everything needed to rebuild the op for a witness, nothing that
+// retains the history (the chain field is only set for reads recorded
+// with an explicit chain; interned reads re-materialize from the table).
+type opRec struct {
+	id, proc    int
+	kind        history.OpKind
+	ok, pending bool
+	head        core.BlockID
+	chainLen    int
+	inv, rsp    int
+	invT, rspT  int64
+	block       *core.Block
+	chain       core.Chain
+	score       int // read score (reads only)
+	ord         int // position in the correct-read order (reads only)
+}
+
+func (r opRec) key() chainKey { return chainKey{r.head, r.chainLen} }
+
+func recOf(op *history.Op) opRec {
+	return opRec{
+		id: op.ID, proc: op.Proc, kind: op.Kind, ok: op.OK, pending: op.Pending,
+		head: op.Head, chainLen: op.ChainLen, inv: op.InvIndex, rsp: op.RspIndex,
+		invT: op.InvTime, rspT: op.RspTime, block: op.Block, chain: op.EagerChain(),
+	}
+}
+
+// recSet retains the first cap records by invocation index (the batch
+// checking order) of one retention class.
+type recSet struct {
+	recs      []opRec
+	truncated bool
+}
+
+func (s *recSet) insert(r opRec, cap int) {
+	n := len(s.recs)
+	if n == 0 || s.recs[n-1].inv < r.inv {
+		s.recs = append(s.recs, r)
+	} else {
+		i := sort.Search(n, func(i int) bool { return s.recs[i].inv > r.inv })
+		s.recs = append(s.recs, opRec{})
+		copy(s.recs[i+1:], s.recs[i:])
+		s.recs[i] = r
+	}
+	if len(s.recs) > cap {
+		s.recs = s.recs[:cap]
+		s.truncated = true
+	}
+}
+
+// bvFact is the incremental Block Validity scan of one distinct chain.
+// A fact computed at arrival time stays conclusive on the pass side:
+// later appends only add blocks or lower earliest-invocation indices,
+// so arrival-clean chains are final-clean and arrival-passing bounds
+// keep passing. Reads that fail at arrival become suspects, re-resolved
+// against the final append index at Finalize.
+type bvFact struct {
+	clean        bool
+	maxAppendInv int
+	nonGenesis   int
+	firstInvalid core.BlockID
+	hasInvalid   bool
+}
+
+// spRun is one maximal run of equal interned chains in the sorted-read
+// order within one chain length.
+type spRun struct {
+	key         chainKey
+	first, last opRec
+	n           int
+}
+
+// spRunsCap bounds the runs retained per chain length: a truncated
+// length has ≥ spRunsCap−1 adjacent-pair violations among its retained
+// runs, which exceeds MaxViolations, so the report is always full
+// before the truncated region is reached.
+const spRunsCap = MaxViolations + 2
+
+// spLen is the per-chain-length StrongPrefix state.
+type spLen struct {
+	runs      []spRun
+	truncated bool
+	last      opRec // true latest arrival of this length
+	count     int
+}
+
+// lmrPair is one recorded Local Monotonic Read violation.
+type lmrPair struct{ prev, cur opRec }
+
+// Monitor is the online counterpart of Checker: feed it a history as it
+// is recorded (it implements history.Sink), then Finalize for the batch
+// verdicts. Not safe for concurrent use; the Recorder serializes sink
+// calls under its own lock.
+type Monitor struct {
+	score   core.Score
+	pred    core.Predicate
+	table   *history.ChainTable
+	procs   int
+	window  int
+	cap     int
+	k       int
+	onWitns func(Witness)
+
+	faulty map[int]bool
+
+	ops, nreads, nappends, ncomm int
+
+	scoreByKey map[chainKey]int
+
+	// win is the sliding liveness tail: the last `window` correct reads
+	// by invocation index.
+	win []opRec
+
+	// LocalMonotonicRead per-process state.
+	lmrPrev    []opRec
+	lmrHas     []bool
+	lmrViol    [][]lmrPair
+	lmrChecked int
+
+	// StrongPrefix state.
+	spLens   map[int]*spLen
+	spMax    opRec
+	spHasMax bool
+	spCmp    map[chainKey]bool
+
+	// EverGrowingTree / EventualPrefix candidates per score class.
+	classes map[int]*recSet
+
+	// BlockValidity state.
+	bvFacts    map[chainKey]*bvFact
+	bvSuspects map[chainKey]*recSet
+	bvChecked  int
+	appendInv  map[core.BlockID]opRec
+
+	// k-Fork Coherence token groups (successful appends per token).
+	tokens map[string][]opRec
+
+	// live emission caps per property.
+	liveLMR, liveSP, liveBV, liveKF int
+	liveTotal                       int
+
+	finalized bool
+	scV, ecV  *Verdict
+}
+
+// NewMonitor builds an online monitor. Attach it to a Recorder with
+// SetSink (or feed it segments via ConsumeSegment) before the first
+// operation is recorded; processes must be marked faulty before their
+// first read for the exclusion semantics to match the batch checker.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Score == nil {
+		cfg.Score = core.LengthScore{}
+	}
+	if cfg.P == nil {
+		cfg.P = core.AlwaysValid{}
+	}
+	procs := cfg.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	w := cfg.Horizon
+	if w <= 0 {
+		w = cfg.Procs
+		if w < 2 {
+			w = 2
+		}
+	}
+	m := &Monitor{
+		score:      cfg.Score,
+		pred:       cfg.P,
+		table:      cfg.Table,
+		procs:      cfg.Procs,
+		window:     w,
+		cap:        MaxViolations + procs,
+		k:          cfg.K,
+		onWitns:    cfg.OnWitness,
+		faulty:     make(map[int]bool),
+		scoreByKey: make(map[chainKey]int),
+		spLens:     make(map[int]*spLen),
+		spCmp:      make(map[chainKey]bool),
+		classes:    make(map[int]*recSet),
+		bvFacts:    make(map[chainKey]*bvFact),
+		bvSuspects: make(map[chainKey]*recSet),
+		appendInv:  make(map[core.BlockID]opRec),
+		tokens:     make(map[string][]opRec),
+	}
+	if cfg.Procs > 0 {
+		m.lmrPrev = make([]opRec, cfg.Procs)
+		m.lmrHas = make([]bool, cfg.Procs)
+		m.lmrViol = make([][]lmrPair, cfg.Procs)
+	}
+	return m
+}
+
+// Faulty implements history.Sink: process p's reads are excluded from
+// the criteria. Mark before p's first read (the adversary subsystem
+// marks at wiring time, before the simulation starts).
+func (m *Monitor) Faulty(p int) { m.faulty[p] = true }
+
+// CommDone implements history.Sink. Communication events do not enter
+// the consistency criteria; they are only counted.
+func (m *Monitor) CommDone(history.CommEvent) { m.ncomm++ }
+
+// OpDone implements history.Sink: consume one completed operation.
+func (m *Monitor) OpDone(op *history.Op) {
+	m.ops++
+	switch op.Kind {
+	case history.OpAppend:
+		m.consumeAppend(op, false)
+	case history.OpRead:
+		m.consumeRead(op)
+	}
+}
+
+// OpPending delivers an operation that never completed (fed by the
+// finalizer from the recorder's pending set): Block Validity counts
+// pending append invocations; pending reads carry no result.
+func (m *Monitor) OpPending(op *history.Op) {
+	if op.Kind == history.OpAppend {
+		m.consumeAppend(op, true)
+	}
+}
+
+// ConsumeSegment feeds one sealed history segment (see
+// history.SegmentSink) to the monitor.
+func (m *Monitor) ConsumeSegment(seg *history.Segment) {
+	if seg == nil {
+		return
+	}
+	for _, op := range seg.Ops {
+		m.OpDone(op)
+	}
+	for _, e := range seg.Comm {
+		m.CommDone(e)
+	}
+}
+
+func (m *Monitor) consumeAppend(op *history.Op, pending bool) {
+	if !pending {
+		m.nappends++
+	}
+	if op.Block == nil {
+		return
+	}
+	rec := recOf(op)
+	if cur, ok := m.appendInv[op.Block.ID]; !ok || rec.inv < cur.inv {
+		m.appendInv[op.Block.ID] = rec
+	}
+	if pending || !op.OK {
+		return
+	}
+	key := op.Block.Token
+	if key == "" {
+		key = "parent:" + string(op.Block.Parent)
+	}
+	m.tokens[key] = append(m.tokens[key], rec)
+	if m.k > 0 && len(m.tokens[key]) == m.k+1 && m.liveKF < MaxViolations {
+		m.liveKF++
+		group := m.tokens[key]
+		blocks := make([]core.BlockID, len(group))
+		ops := make([]*history.Op, len(group))
+		for i, g := range group {
+			blocks[i] = g.block.ID
+			ops[i] = m.rebuild(g)
+		}
+		m.emit(Witness{
+			Property: fmt.Sprintf("%d-ForkCoherence", m.k),
+			Ops:      ops, Blocks: blocks,
+			Detail: fmt.Sprintf("token %q consumed by %d successful appends (k=%d): forks %s",
+				key, len(group), m.k, shortIDs(blocks)),
+		})
+	}
+}
+
+func (m *Monitor) consumeRead(op *history.Op) {
+	if m.faulty[op.Proc] {
+		return
+	}
+	rec := recOf(op)
+	rec.score = m.scoreOfOp(op)
+	rec.ord = m.nreads
+	m.nreads++
+
+	// LocalMonotonicRead: compare against the process's previous read.
+	if p := rec.proc; p >= 0 && p < len(m.lmrPrev) {
+		if m.lmrHas[p] {
+			m.lmrChecked++
+			if prev := m.lmrPrev[p]; prev.score > rec.score {
+				if len(m.lmrViol[p]) < MaxViolations {
+					m.lmrViol[p] = append(m.lmrViol[p], lmrPair{prev, rec})
+				}
+				if m.liveLMR < MaxViolations {
+					m.liveLMR++
+					prevOp := m.rebuild(prev)
+					m.emit(Witness{
+						Property: "LocalMonotonicRead",
+						Ops:      []*history.Op{prevOp, op},
+						Blocks:   []core.BlockID{prev.head, rec.head},
+						Detail: fmt.Sprintf("process %d: score dropped %d → %d (%s then %s)",
+							p, prev.score, rec.score, prevOp, op),
+					})
+				}
+			}
+		}
+		m.lmrPrev[p], m.lmrHas[p] = rec, true
+	}
+
+	// BlockValidity: shared per-chain fact, arrival-conclusive on the
+	// pass side; failures become suspects re-resolved at Finalize.
+	fact := m.factOfOp(op)
+	m.bvChecked += fact.nonGenesis
+	if !(fact.clean && fact.maxAppendInv < rec.rsp) {
+		set := m.bvSuspects[rec.key()]
+		if set == nil {
+			set = &recSet{}
+			m.bvSuspects[rec.key()] = set
+		}
+		set.insert(rec, m.cap)
+		if fact.hasInvalid && m.liveBV < MaxViolations {
+			m.liveBV++
+			m.emit(Witness{
+				Property: "BlockValidity",
+				Ops:      []*history.Op{op},
+				Blocks:   []core.BlockID{fact.firstInvalid},
+				Detail:   fmt.Sprintf("read %s returned block %s with P(b)=false", op, fact.firstInvalid.Short()),
+			})
+		}
+	}
+
+	// Liveness tail window: last `window` correct reads by invocation.
+	m.winInsert(rec)
+
+	// EverGrowingTree / EventualPrefix candidates per score class.
+	cls := m.classes[rec.score]
+	if cls == nil {
+		cls = &recSet{}
+		m.classes[rec.score] = cls
+	}
+	cls.insert(rec, m.cap)
+
+	// StrongPrefix run-length structure + live comparability probe.
+	m.spConsume(rec, op)
+}
+
+func (m *Monitor) winInsert(r opRec) {
+	n := len(m.win)
+	if n == 0 || m.win[n-1].inv < r.inv {
+		m.win = append(m.win, r)
+	} else {
+		i := sort.Search(n, func(i int) bool { return m.win[i].inv > r.inv })
+		m.win = append(m.win, opRec{})
+		copy(m.win[i+1:], m.win[i:])
+		m.win[i] = r
+	}
+	if len(m.win) > m.window {
+		copy(m.win, m.win[1:])
+		m.win = m.win[:len(m.win)-1]
+	}
+}
+
+func (m *Monitor) spConsume(rec opRec, op *history.Op) {
+	sl := m.spLens[rec.chainLen]
+	if sl == nil {
+		sl = &spLen{}
+		m.spLens[rec.chainLen] = sl
+	}
+	k := rec.key()
+	switch {
+	case sl.truncated:
+		// Beyond the retained runs: only the true last matters.
+	case len(sl.runs) > 0 && sl.runs[len(sl.runs)-1].key == k:
+		run := &sl.runs[len(sl.runs)-1]
+		run.last = rec
+		run.n++
+	case len(sl.runs) < spRunsCap:
+		sl.runs = append(sl.runs, spRun{key: k, first: rec, last: rec, n: 1})
+	default:
+		sl.truncated = true
+	}
+	sl.last = rec
+	sl.count++
+
+	// Live incomparability probe against the longest chain read so far.
+	// Advisory: false negatives are possible after the anchor moves;
+	// the exact batch witness set comes from Finalize.
+	if !m.spHasMax {
+		m.spMax, m.spHasMax = rec, true
+		return
+	}
+	maxK := m.spMax.key()
+	if k == maxK || m.spCmp[k] {
+		if rec.chainLen > m.spMax.chainLen {
+			m.spMax = rec
+		}
+		return
+	}
+	if m.comparable(k, maxK) {
+		m.spCmp[k] = true
+	} else if m.liveSP < MaxViolations {
+		m.liveSP++
+		maxOp := m.rebuild(m.spMax)
+		m.emit(Witness{
+			Property: "StrongPrefix",
+			Ops:      []*history.Op{maxOp, op},
+			Blocks:   []core.BlockID{m.spMax.head, rec.head},
+			Detail:   fmt.Sprintf("incomparable reads: %s vs %s", maxOp, op),
+		})
+	}
+	if rec.chainLen > m.spMax.chainLen {
+		m.spMax = rec
+	}
+}
+
+// comparable probes whether the chains behind two interned keys are
+// prefix-comparable, by walking parent links in the table (O(Δheight),
+// no materialization).
+func (m *Monitor) comparable(a, b chainKey) bool {
+	if a == b {
+		return true
+	}
+	short, long := a, b
+	if short.n > long.n {
+		short, long = long, short
+	}
+	if m.table == nil {
+		return false
+	}
+	anc := m.table.AncestorAt(long.head, short.n-1)
+	return anc != nil && anc.ID == short.head
+}
+
+func (m *Monitor) scoreOfOp(op *history.Op) int {
+	k := keyOf(op)
+	if s, ok := m.scoreByKey[k]; ok {
+		return s
+	}
+	s := m.score.Of(op.ChainUncached())
+	m.scoreByKey[k] = s
+	return s
+}
+
+func (m *Monitor) factOfOp(op *history.Op) *bvFact {
+	k := keyOf(op)
+	if f, ok := m.bvFacts[k]; ok {
+		return f
+	}
+	f := m.scanFact(op.ChainUncached())
+	m.bvFacts[k] = f
+	return f
+}
+
+func (m *Monitor) scanFact(c core.Chain) *bvFact {
+	f := &bvFact{clean: true, maxAppendInv: -1}
+	for _, b := range c {
+		if b.IsGenesis() {
+			continue
+		}
+		f.nonGenesis++
+		if !m.pred.Valid(b) {
+			f.clean = false
+			if !f.hasInvalid {
+				f.hasInvalid, f.firstInvalid = true, b.ID
+			}
+			continue
+		}
+		ap, ok := m.appendInv[b.ID]
+		if !ok {
+			f.clean = false
+			continue
+		}
+		if ap.inv > f.maxAppendInv {
+			f.maxAppendInv = ap.inv
+		}
+	}
+	return f
+}
+
+func (m *Monitor) emit(w Witness) {
+	m.liveTotal++
+	if m.onWitns != nil {
+		m.onWitns(w)
+	}
+}
+
+// LiveWitnesses reports how many live witnesses have been emitted.
+func (m *Monitor) LiveWitnesses() int { return m.liveTotal }
+
+// rebuild reconstructs a witness-grade *history.Op from a compact
+// record; its String/Chain renderings equal the original op's.
+func (m *Monitor) rebuild(r opRec) *history.Op {
+	op := &history.Op{
+		ID: r.id, Proc: r.proc, Kind: r.kind, Block: r.block, OK: r.ok,
+		Head: r.head, ChainLen: r.chainLen, InvIndex: r.inv, RspIndex: r.rsp,
+		InvTime: r.invT, RspTime: r.rspT, Pending: r.pending,
+	}
+	op.SetSource(m.table, r.chain)
+	return op
+}
+
+// mergedByInv flattens the given sets and sorts by invocation index —
+// the batch checking order.
+func mergedByInv[K comparable](sets map[K]*recSet) []opRec {
+	var out []opRec
+	for _, s := range sets {
+		out = append(out, s.recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].inv < out[j].inv })
+	return out
+}
+
+// Finalize closes the stream and returns the SC and EC verdicts,
+// equivalent to batch Classify on the full history (see the package
+// comment for the exact equivalence contract). Idempotent.
+func (m *Monitor) Finalize() (sc, ec *Verdict) {
+	if m.finalized {
+		return m.scV, m.ecV
+	}
+	m.finalized = true
+	bv := m.finalBV()
+	lmr := m.finalLMR()
+	sp := m.finalSP()
+	egt := m.finalEGT()
+	ep := m.finalEP()
+	m.scV = verdictOf("SC", bv, lmr, sp, egt)
+	m.ecV = verdictOf("EC", bv, lmr, egt, ep)
+	return m.scV, m.ecV
+}
+
+func (m *Monitor) finalBV() *Report {
+	rep := &Report{Property: "BlockValidity", OK: true, Checked: m.bvChecked}
+	sus := mergedByInv(m.bvSuspects)
+	finalFacts := make(map[chainKey]*bvFact, len(m.bvSuspects))
+	for _, rec := range sus {
+		f, ok := finalFacts[rec.key()]
+		if !ok {
+			f = m.scanFact(m.rebuild(rec).ChainUncached())
+			finalFacts[rec.key()] = f
+		}
+		if f.clean && f.maxAppendInv < rec.rsp {
+			continue // suspect resolved clean against the final appends
+		}
+		r := m.rebuild(rec)
+		for _, b := range r.Chain() {
+			if b.IsGenesis() {
+				continue
+			}
+			if !m.pred.Valid(b) {
+				rep.witness([]*history.Op{r}, []core.BlockID{b.ID},
+					"read %s returned block %s with P(b)=false", r, b.ID.Short())
+				continue
+			}
+			ap, ok := m.appendInv[b.ID]
+			if !ok {
+				rep.witness([]*history.Op{r}, []core.BlockID{b.ID},
+					"read %s returned block %s never passed to append()", r, b.ID.Short())
+				continue
+			}
+			if ap.inv >= rec.rsp {
+				rep.witness([]*history.Op{r, m.rebuild(ap)}, []core.BlockID{b.ID},
+					"read %s returned block %s appended only later (inv %d ≥ rsp %d)",
+					r, b.ID.Short(), ap.inv, rec.rsp)
+			}
+		}
+		if len(rep.Violations) == MaxViolations {
+			break
+		}
+	}
+	return rep
+}
+
+func (m *Monitor) finalLMR() *Report {
+	rep := &Report{Property: "LocalMonotonicRead", OK: true, Checked: m.lmrChecked}
+	for p := 0; p < len(m.lmrViol); p++ {
+		if m.faulty[p] {
+			continue
+		}
+		for _, pair := range m.lmrViol[p] {
+			if len(rep.Violations) == MaxViolations {
+				return rep
+			}
+			prevOp, curOp := m.rebuild(pair.prev), m.rebuild(pair.cur)
+			rep.witness([]*history.Op{prevOp, curOp}, []core.BlockID{pair.prev.head, pair.cur.head},
+				"process %d: score dropped %d → %d (%s then %s)",
+				p, pair.prev.score, pair.cur.score, prevOp, curOp)
+		}
+	}
+	return rep
+}
+
+func (m *Monitor) finalSP() *Report {
+	rep := &Report{Property: "StrongPrefix", OK: true}
+	if m.nreads < 2 {
+		return rep
+	}
+	rep.Checked = m.nreads - 1
+	lens := make([]int, 0, len(m.spLens))
+	for l := range m.spLens {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	var prev opRec
+	havePrev := false
+	for _, l := range lens {
+		sl := m.spLens[l]
+		for _, run := range sl.runs {
+			if havePrev && prev.key() != run.first.key() {
+				pOp, cOp := m.rebuild(prev), m.rebuild(run.first)
+				if !pOp.Chain().Prefix(cOp.Chain()) {
+					rep.witness([]*history.Op{pOp, cOp}, []core.BlockID{prev.head, run.first.head},
+						"incomparable reads: %s vs %s", pOp, cOp)
+					if len(rep.Violations) == MaxViolations {
+						return rep
+					}
+				}
+			}
+			prev, havePrev = run.last, true
+		}
+		// Cross-length boundaries pair this length's true last read
+		// with the next length's first (exact even when runs were
+		// truncated — truncation implies the report filled above).
+		prev, havePrev = sl.last, true
+	}
+	return rep
+}
+
+func (m *Monitor) finalEGT() *Report {
+	rep := &Report{Property: "EverGrowingTree", OK: true, Checked: m.nreads}
+	for _, r := range mergedByInv(m.classes) {
+		maxT := -1
+		stale := -1
+		for j := range m.win {
+			t := &m.win[j]
+			if r.pending || r.rsp >= t.inv { // !r.Before(t)
+				continue
+			}
+			if t.score > maxT {
+				maxT = t.score
+			}
+			if t.score <= r.score && stale < 0 {
+				stale = j
+			}
+		}
+		if stale >= 0 && maxT > r.score {
+			rOp, sOp := m.rebuild(r), m.rebuild(m.win[stale])
+			rep.witness([]*history.Op{rOp, sOp}, []core.BlockID{r.head, m.win[stale].head},
+				"stagnation persists after %s: final-window read %s has score ≤ %d while the window grew to %d",
+				rOp, sOp, r.score, maxT)
+			if len(rep.Violations) == MaxViolations {
+				rep.Checked = r.ord + 1 // batch stops scanning here
+				return rep
+			}
+		}
+	}
+	return rep
+}
+
+// epPairs returns the batch Checked contribution of the read at the
+// given correct-read position, assuming atomic completed operations:
+// every pre-window read sees all w window reads after it; the window
+// member at position j sees the w−1−j later ones.
+func (m *Monitor) epPairs(ord int) int {
+	w := len(m.win)
+	nonWin := m.nreads - w
+	k := w
+	if ord >= nonWin {
+		k = w - 1 - (ord - nonWin)
+	}
+	return k * (k - 1) / 2
+}
+
+func (m *Monitor) finalEP() *Report {
+	rep := &Report{Property: "EventualPrefix", OK: true}
+	tail := m.win
+	w := len(tail)
+
+	chains := make([]core.Chain, w)
+	for i := range tail {
+		chains[i] = m.rebuild(tail[i]).Chain()
+	}
+	divergent := false
+	mcps := make([][]int, w)
+	for x := range mcps {
+		mcps[x] = make([]int, w)
+	}
+	for x := 0; x < w; x++ {
+		sx := tail[x].score
+		for y := x + 1; y < w; y++ {
+			sy := tail[y].score
+			var mm int
+			if tail[x].key() == tail[y].key() {
+				mm = sx
+			} else {
+				mm = core.MCPS(m.score, chains[x], chains[y])
+			}
+			mcps[x][y] = mm
+			if mm < sx && mm < sy {
+				divergent = true
+			}
+		}
+	}
+
+	fullChecked := 0
+	for ord := 0; ord < m.nreads; ord++ {
+		fullChecked += m.epPairs(ord)
+	}
+	rep.Checked = fullChecked
+	if !divergent {
+		return rep
+	}
+
+	// Divergence in the window: replay the batch enumeration over the
+	// retained candidates (provably a superset of the reported reads).
+	for _, r := range mergedByInv(m.classes) {
+		var after []int
+		for j := range tail {
+			if !r.pending && r.rsp < tail[j].inv { // r.Before(tail[j])
+				after = append(after, j)
+			}
+		}
+		pairs := 0
+		for x := 0; x < len(after); x++ {
+			for y := x + 1; y < len(after); y++ {
+				pairs++
+				ax, ay := after[x], after[y]
+				mm := mcps[ax][ay]
+				bound := r.score
+				if sa := tail[ax].score; sa < bound {
+					bound = sa
+				}
+				if sb := tail[ay].score; sb < bound {
+					bound = sb
+				}
+				if mm < bound {
+					rOp, aOp, bOp := m.rebuild(r), m.rebuild(tail[ax]), m.rebuild(tail[ay])
+					rep.witness([]*history.Op{rOp, aOp, bOp},
+						[]core.BlockID{tail[ax].head, tail[ay].head},
+						"after %s (score %d) final-window reads still diverge: mcps(%s, %s)=%d < %d",
+						rOp, r.score, aOp, bOp, mm, bound)
+					if len(rep.Violations) == MaxViolations {
+						// Batch stops mid-enumeration: pairs before
+						// this read, plus the pairs it examined.
+						checked := 0
+						for ord := 0; ord < r.ord; ord++ {
+							checked += m.epPairs(ord)
+						}
+						rep.Checked = checked + pairs
+						return rep
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// KForkReport builds the k-Fork Coherence report from the streamed
+// token groups — equivalent to the batch KForkCoherence for any k.
+// Callable before or after Finalize.
+func (m *Monitor) KForkReport(k int) *Report {
+	rep := &Report{Property: fmt.Sprintf("%d-ForkCoherence", k), OK: true}
+	toks := make([]string, 0, len(m.tokens))
+	for tok := range m.tokens {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		group := append([]opRec(nil), m.tokens[tok]...)
+		sort.Slice(group, func(i, j int) bool { return group[i].inv < group[j].inv })
+		rep.Checked++
+		if len(group) > k {
+			blocks := make([]core.BlockID, len(group))
+			ops := make([]*history.Op, len(group))
+			for i, g := range group {
+				blocks[i] = g.block.ID
+				ops[i] = m.rebuild(g)
+			}
+			rep.witness(ops, blocks,
+				"token %q consumed by %d successful appends (k=%d): forks %s", tok, len(group), k, shortIDs(blocks))
+		}
+	}
+	return rep
+}
+
+// MonitorStats summarizes a monitor's retained state — the observable
+// side of the bounded-memory claim.
+type MonitorStats struct {
+	// Ops, Reads, Appends, Comm count the consumed stream.
+	Ops, Reads, Appends, Comm int
+	// Retained counts the compact op records currently held across all
+	// monitors (window, candidates, suspects, LMR, SP runs, tokens).
+	Retained int
+	// ScoreClasses and SuspectKeys size the per-class structures.
+	ScoreClasses, SuspectKeys int
+	// WindowLen is the current liveness-window occupancy.
+	WindowLen int
+}
+
+// Stats reports the monitor's consumption counters and retained-state
+// sizes.
+func (m *Monitor) Stats() MonitorStats {
+	st := MonitorStats{
+		Ops: m.ops, Reads: m.nreads, Appends: m.nappends, Comm: m.ncomm,
+		ScoreClasses: len(m.classes), SuspectKeys: len(m.bvSuspects),
+		WindowLen: len(m.win),
+	}
+	st.Retained = len(m.win)
+	for _, s := range m.classes {
+		st.Retained += len(s.recs)
+	}
+	for _, s := range m.bvSuspects {
+		st.Retained += len(s.recs)
+	}
+	for _, v := range m.lmrViol {
+		st.Retained += len(v)
+	}
+	for i := range m.lmrHas {
+		if m.lmrHas[i] {
+			st.Retained++
+		}
+	}
+	for _, sl := range m.spLens {
+		st.Retained += 2*len(sl.runs) + 1
+	}
+	for _, g := range m.tokens {
+		st.Retained += len(g)
+	}
+	return st
+}

@@ -1,0 +1,151 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// fuzzBuild interprets a byte string as a deterministic op stream over
+// `procs` sequential processes: chain extensions, forks, explicit and
+// interned reads, stale reads, duplicate and failed appends, forged
+// blocks, mid-stream fault declarations, and permanently-pending
+// appends. Completed operations stay atomic (invoke+respond adjacent),
+// which is the regime where the monitor's Checked counts are specified
+// to match batch exactly.
+func fuzzBuild(rec *history.Recorder, procs int, data []byte) {
+	chains := make([]core.Chain, procs)
+	for p := range chains {
+		chains[p] = core.GenesisChain()
+	}
+	var all []*core.Block // every appended block, for stale/dup actions
+	hasRead := make([]bool, procs)
+	faulty := make([]bool, procs)
+	seq := 0
+
+	mint := func(parent *core.Block, creator int) *core.Block {
+		seq++
+		b := core.NewBlock(parent.ID, parent.Height+1, creator, seq, []byte{byte(seq), byte(seq >> 8)})
+		if seq%5 == 0 {
+			// Shared token: k-Fork groups beyond the same-parent rule.
+			b = b.WithToken("tkn(shared)")
+		}
+		rec.InternBlock(b)
+		return b
+	}
+
+	for _, a := range data {
+		p := int(a>>3) % procs
+		switch a % 8 {
+		case 0, 1: // extend p's chain with a successful append
+			b := mint(chains[p].Head(), p)
+			chains[p] = chains[p].Append(b)
+			rec.Append(p, b, true)
+			all = append(all, b)
+		case 2: // fork: branch p's chain at half height
+			cut := len(chains[p])/2 + 1
+			forked := chains[p][:cut].Clone()
+			b := mint(forked.Head(), p)
+			chains[p] = forked.Append(b)
+			rec.Append(p, b, true)
+			all = append(all, b)
+		case 3: // explicit-chain read of p's current chain
+			rec.Read(p, chains[p].Clone())
+			hasRead[p] = true
+		case 4: // interned read of p's current head
+			rec.ReadHead(p, chains[p].Head())
+			hasRead[p] = true
+		case 5: // stale read or duplicate append of an old block
+			if len(all) == 0 {
+				rec.Read(p, core.GenesisChain())
+				hasRead[p] = true
+				break
+			}
+			old := all[int(a>>3)%len(all)]
+			if a>>6 == 0 {
+				rec.Append(p, old, true) // duplicate successful append
+			} else {
+				c := rec.Table().ChainTo(old.ID)
+				rec.Read(p, c) // out-of-order (stale) read
+				hasRead[p] = true
+			}
+		case 6: // forged block: interned, read, never appended — or a
+			// failed append that likewise must not count
+			b := mint(chains[p].Head(), p)
+			if a>>6 == 0 {
+				rec.Append(p, b, false) // failed append
+			}
+			rec.Read(p, chains[p].Clone().Append(b))
+			hasRead[p] = true
+		case 7: // mid-stream fault (only before p's first read, per the
+			// sink contract) or a permanently-pending append
+			if !hasRead[p] && !faulty[p] && a>>6 == 1 {
+				faulty[p] = true
+				rec.MarkFaulty(p)
+				break
+			}
+			b := mint(chains[p].Head(), p)
+			rec.InvokeAppend(p, b) // never responded
+		}
+	}
+}
+
+// FuzzMonitorEquivalence drives randomized op streams through both
+// pipelines and requires the streaming Finalize to match batch Classify
+// exactly — OK flags, Checked counts, violation strings, witness ops
+// and blocks — both with the monitor as direct sink and with delivery
+// through small sealed segments.
+func FuzzMonitorEquivalence(f *testing.F) {
+	f.Add([]byte{0, 3, 8, 11, 2, 3, 19, 4})
+	f.Add([]byte{0, 0, 2, 3, 11, 3, 2, 11, 3, 5, 45, 5, 6, 70, 6, 3})
+	f.Add([]byte{7, 71, 15, 0, 2, 3, 3, 3, 7, 7, 13, 5, 101, 6, 66, 4, 12, 20, 28})
+	f.Add([]byte{1, 9, 17, 25, 33, 41, 49, 57, 3, 11, 19, 27, 2, 10, 18, 26, 4, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		const procs = 3
+		horizon := 0
+		if len(data) > 0 {
+			horizon = int(data[0]) % 5 // 0 = batch default
+		}
+		for _, segSize := range []int{0, 7} {
+			rec := history.NewRecorder(procs, nil)
+			mon := NewMonitor(MonitorConfig{Procs: procs, Horizon: horizon, Table: rec.Table()})
+			var seg *history.SegmentSink
+			if segSize > 0 {
+				seg = history.NewSegmentSink(segSize, mon.ConsumeSegment)
+				seg.OnFaulty = mon.Faulty
+				rec.SetSink(seg)
+			} else {
+				rec.SetSink(mon)
+			}
+			fuzzBuild(rec, procs, data)
+			h := rec.Snapshot()
+			if seg != nil {
+				seg.Seal()
+			}
+			for _, op := range rec.PendingOps() {
+				mon.OpPending(op)
+			}
+			msc, mec := mon.Finalize()
+
+			chk := NewChecker(nil, nil)
+			chk.Horizon = horizon
+			bsc, bec := chk.Classify(h)
+
+			if got, want := verdictDump(msc), verdictDump(bsc); got != want {
+				t.Errorf("seg=%d SC mismatch:\n--- batch ---\n%s--- stream ---\n%s", segSize, want, got)
+			}
+			if got, want := verdictDump(mec), verdictDump(bec); got != want {
+				t.Errorf("seg=%d EC mismatch:\n--- batch ---\n%s--- stream ---\n%s", segSize, want, got)
+			}
+			for _, k := range []int{1, 2} {
+				if got, want := reportDump(mon.KForkReport(k)), reportDump(chk.KForkCoherence(h, k)); got != want {
+					t.Errorf("seg=%d KFork(%d) mismatch:\n--- batch ---\n%s--- stream ---\n%s", segSize, k, want, got)
+				}
+			}
+		}
+	})
+}

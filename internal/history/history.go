@@ -86,6 +86,80 @@ func (t *ChainTable) ChainTo(head core.BlockID) core.Chain {
 	return out
 }
 
+// ChainToUncached materializes the chain from genesis to head without
+// growing the memo cache: an existing memo entry is reused, but a fresh
+// materialization is returned to the caller alone. The streaming
+// monitors use it so that checking an unbounded run does not accumulate
+// one cached chain per distinct read head.
+func (t *ChainTable) ChainToUncached(head core.BlockID) core.Chain {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.chains[head]; ok {
+		return c
+	}
+	b, ok := t.blocks[head]
+	if !ok {
+		return nil
+	}
+	out := make(core.Chain, b.Height+1)
+	for i := b.Height; ; i-- {
+		out[i] = b
+		if b.IsGenesis() {
+			break
+		}
+		b, ok = t.blocks[b.Parent]
+		if !ok || b.Height != i-1 {
+			return nil
+		}
+	}
+	return out
+}
+
+// Block returns the interned block with the given ID (nil if unknown).
+func (t *ChainTable) Block(id core.BlockID) *core.Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.blocks[id]
+}
+
+// AncestorAt returns head's ancestor at the given height (nil when head
+// is unknown, the height is out of range, or an ancestor was never
+// interned). It walks parent links without materializing a chain — the
+// monitors' O(Δh) comparability probe.
+func (t *ChainTable) AncestorAt(head core.BlockID, height int) *core.Block {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.blocks[head]
+	if !ok || height < 0 || height > b.Height {
+		return nil
+	}
+	for b.Height > height {
+		b, ok = t.blocks[b.Parent]
+		if !ok {
+			return nil
+		}
+	}
+	if b.Height != height {
+		return nil
+	}
+	return b
+}
+
+// MemoLen reports how many chains the table has memoized (observability
+// for the streaming memory-bound tests).
+func (t *ChainTable) MemoLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.chains)
+}
+
+// BlocksLen reports how many blocks the table has interned.
+func (t *ChainTable) BlocksLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.blocks)
+}
+
 // OpKind distinguishes the two BT-ADT operations.
 type OpKind uint8
 
@@ -147,6 +221,33 @@ func (o *Op) Chain() core.Chain {
 		return o.src.ChainTo(o.Head)
 	}
 	return nil
+}
+
+// ChainUncached materializes the read's chain like Chain, but without
+// growing the table's memo cache — the streaming monitors' accessor
+// (they process reads whose chains must not accumulate in the table).
+func (o *Op) ChainUncached() core.Chain {
+	if o.chain != nil {
+		return o.chain
+	}
+	if o.src != nil {
+		return o.src.ChainToUncached(o.Head)
+	}
+	return nil
+}
+
+// EagerChain returns the explicitly recorded chain (RespondRead path),
+// nil for interned reads. The monitors retain it on the few ops they
+// keep, so witness reconstruction works for histories recorded without
+// a chain table.
+func (o *Op) EagerChain() core.Chain { return o.chain }
+
+// SetSource attaches the chain table (and optional eagerly recorded
+// chain) a rebuilt operation materializes its read result from. The
+// streaming monitors use it to reconstruct witness operations from
+// compact records after the original ops were released.
+func (o *Op) SetSource(t *ChainTable, chain core.Chain) {
+	o.src, o.chain = t, chain
 }
 
 // Before reports the program order ր: op ր other iff op's response event
@@ -370,6 +471,14 @@ type Recorder struct {
 	faulty map[int]bool
 	clock  func() int64
 	table  *ChainTable
+
+	// sink, when set, receives every completed op and comm event as it
+	// is recorded (see stream.go); drop releases completed ops instead
+	// of retaining them for Snapshot; pending indexes invoked-but-
+	// unresponded ops when a sink or drop mode needs them.
+	sink    Sink
+	drop    bool
+	pending map[int]*Op
 }
 
 // NewRecorder creates a recorder for procs processes. clock supplies
@@ -395,6 +504,9 @@ func (r *Recorder) MarkFaulty(p int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.faulty[p] = true
+	if r.sink != nil {
+		r.sink.Faulty(p)
+	}
 }
 
 // InvokeRead records the invocation event of a read() by process p and
@@ -405,7 +517,7 @@ func (r *Recorder) InvokeRead(p int) *Op {
 	op := &Op{ID: r.nextID, Proc: p, Kind: OpRead, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
 	r.nextID++
 	r.seq++
-	r.ops = append(r.ops, op)
+	r.opInvoked(op)
 	return op
 }
 
@@ -424,6 +536,7 @@ func (r *Recorder) RespondRead(op *Op, c core.Chain) {
 	op.RspTime = r.clock()
 	op.Pending = false
 	r.seq++
+	r.opCompleted(op)
 }
 
 // RespondReadHead records the response event of a pending read as an
@@ -441,6 +554,7 @@ func (r *Recorder) RespondReadHead(op *Op, head *core.Block) {
 	op.RspTime = r.clock()
 	op.Pending = false
 	r.seq++
+	r.opCompleted(op)
 }
 
 // InvokeAppend records the invocation event of append(b) by process p.
@@ -450,7 +564,7 @@ func (r *Recorder) InvokeAppend(p int, b *core.Block) *Op {
 	op := &Op{ID: r.nextID, Proc: p, Kind: OpAppend, Block: b, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
 	r.nextID++
 	r.seq++
-	r.ops = append(r.ops, op)
+	r.opInvoked(op)
 	return op
 }
 
@@ -468,6 +582,7 @@ func (r *Recorder) RespondAppend(op *Op, ok bool, final *core.Block) {
 	op.RspTime = r.clock()
 	op.Pending = false
 	r.seq++
+	r.opCompleted(op)
 }
 
 // Read records a complete read (invocation immediately followed by
@@ -498,19 +613,30 @@ func (r *Recorder) RecordComm(kind CommKind, p int, parent, block core.BlockID) 
 	defer r.mu.Unlock()
 	e := CommEvent{Kind: kind, Proc: p, Parent: parent, Block: block, Index: r.seq, Time: r.clock()}
 	r.seq++
-	r.comm = append(r.comm, e)
+	if !r.drop {
+		r.comm = append(r.comm, e)
+	}
+	if r.sink != nil {
+		r.sink.CommDone(e)
+	}
 	return e
 }
 
 // Snapshot returns the history recorded so far. The returned History
 // shares Op pointers with the recorder; callers must stop recording
-// before checking criteria (the checkers are read-only).
+// before checking criteria (the checkers are read-only). In drop mode
+// (SetRetain(false)) completed ops belong to the sink alone, so the
+// snapshot contains only the still-pending operations.
 func (r *Recorder) Snapshot() *History {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := &History{Procs: r.procs}
-	h.Ops = make([]*Op, len(r.ops))
-	copy(h.Ops, r.ops)
+	if r.drop {
+		h.Ops = r.pendingLocked()
+	} else {
+		h.Ops = make([]*Op, len(r.ops))
+		copy(h.Ops, r.ops)
+	}
 	h.Comm = make([]CommEvent, len(r.comm))
 	copy(h.Comm, r.comm)
 	if len(r.faulty) > 0 {

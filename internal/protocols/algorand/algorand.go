@@ -62,6 +62,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.LongestChain{})
+	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {

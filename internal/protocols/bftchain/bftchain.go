@@ -59,6 +59,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
+	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	// The frugal oracle with k = 1: getToken validates proposals (the

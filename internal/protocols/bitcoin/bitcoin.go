@@ -54,6 +54,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.LongestChain{})
+	cfg.BindStream(group.Rec, core.LengthScore{})
 	if cfg.DropRule != nil {
 		group.Net.SetDrop(cfg.DropRule)
 	}

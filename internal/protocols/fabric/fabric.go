@@ -73,6 +73,7 @@ func Run(cfg Config) *protocols.Result {
 
 	sim := simnet.NewSim(cfg.Seed)
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
+	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)

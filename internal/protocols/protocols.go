@@ -54,10 +54,26 @@ type Config struct {
 	// messages and takes its final reads). The public btsim layer
 	// wires per-round progress/early-stop callbacks through it.
 	Observer func(round int, now int64) bool
+	// Stream, when set, is invoked once right after the run's replica
+	// group (and with it the Recorder) is built, before any operation
+	// is recorded — the attachment point for streaming history sinks
+	// and online consistency monitors (history.Sink). The score is the
+	// one the run's batch classification uses, so a monitor can match
+	// it. Runners invoke it through BindStream.
+	Stream func(rec *history.Recorder, score core.Score)
 
 	// halted latches a false Observer return so every later round is
 	// skipped without consulting the observer again.
 	halted bool
+}
+
+// BindStream invokes the Stream hook (nil-safe). Every protocol runner
+// calls it immediately after building its replica group, so sinks see
+// the whole recorded history from the first operation.
+func (c *Config) BindStream(rec *history.Recorder, score core.Score) {
+	if c.Stream != nil {
+		c.Stream(rec, score)
+	}
 }
 
 // Tick reports whether the run should produce blocks for this round:

@@ -145,7 +145,17 @@ func (s Spec) Validate() error {
 // Run executes the scenario with the given seed (0 means Spec.Seed) and
 // checks it. An unregistered System (or any other invalid knob) returns
 // an error naming the registered options — never a silent zero outcome.
-func (s Spec) Run(seed uint64) (*Outcome, error) {
+func (s Spec) Run(seed uint64) (*Outcome, error) { return s.run(seed, false) }
+
+// RunStream executes the scenario with the online consistency monitor
+// attached and builds the Outcome from the streaming verdicts instead
+// of batch Classify. The history is still retained (tee mode), so the
+// replay Digest folds the same run content — a scenario's RunStream
+// digest equals its Run digest exactly; the determinism suite pins this
+// for the whole catalogue.
+func (s Spec) RunStream(seed uint64) (*Outcome, error) { return s.run(seed, true) }
+
+func (s Spec) run(seed uint64, stream bool) (*Outcome, error) {
 	if seed == 0 {
 		seed = s.Seed
 	}
@@ -153,16 +163,30 @@ func (s Spec) Run(seed uint64) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	res, err := sys.Run(btsim.NewConfig(s.options(seed)...))
+	opts := s.options(seed)
+	if stream {
+		opts = append(opts, btsim.WithMonitor(nil))
+		if s.CheckK > 0 {
+			opts = append(opts, btsim.WithMonitorK(s.CheckK))
+		}
+	}
+	res, err := sys.Run(btsim.NewConfig(opts...))
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 
-	sc, ec := res.Check()
-	o := &Outcome{Spec: s, Seed: seed, Res: res, SC: sc, EC: ec, Witnesses: map[string]consistency.Witness{}}
-	if s.CheckK > 0 {
-		o.KFork = res.KFork(s.CheckK)
+	var sc, ec *consistency.Verdict
+	o := &Outcome{Spec: s, Seed: seed, Res: res, Witnesses: map[string]consistency.Witness{}}
+	if stream {
+		sc, ec = res.Stream.SC, res.Stream.EC
+		o.KFork = res.Stream.KFork
+	} else {
+		sc, ec = res.Check()
+		if s.CheckK > 0 {
+			o.KFork = res.KFork(s.CheckK)
+		}
 	}
+	o.SC, o.EC = sc, ec
 
 	reports := map[string]*consistency.Report{}
 	order := []string{}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+)
+
+// outcomeText flattens everything an Outcome derives from the verdicts:
+// digest, violated set, and the full per-report detail including
+// witness op renderings — the byte-equivalence surface of the
+// streaming-vs-batch acceptance criterion.
+func outcomeText(o *Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digest=%s violated=%v\n", o.Digest, o.Violated)
+	dump := func(v *consistency.Verdict) {
+		fmt.Fprintf(&b, "%s ok=%v failing=%v\n", v.Criterion, v.OK, v.Failing())
+		for _, rep := range v.Reports {
+			fmt.Fprintf(&b, "%s ok=%v checked=%d\n", rep.Property, rep.OK, rep.Checked)
+			for _, viol := range rep.Violations {
+				fmt.Fprintf(&b, "V %s\n", viol)
+			}
+			for _, w := range rep.Witnesses {
+				fmt.Fprintf(&b, "W %s |", w.Detail)
+				for _, op := range w.Ops {
+					fmt.Fprintf(&b, " %s", op)
+				}
+				for _, id := range w.Blocks {
+					fmt.Fprintf(&b, " %s", id.Short())
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	dump(o.SC)
+	dump(o.EC)
+	if o.KFork != nil {
+		fmt.Fprintf(&b, "kfork ok=%v checked=%d viol=%v\n", o.KFork.OK, o.KFork.Checked, o.KFork.Violations)
+	}
+	return b.String()
+}
+
+// TestStreamingMatchesBatchCatalogue is the acceptance diff test: every
+// pinned scenario run twice — batch Classify vs. online monitor — must
+// produce byte-identical outcomes (digest, verdicts, violations,
+// witnesses).
+func TestStreamingMatchesBatchCatalogue(t *testing.T) {
+	for _, spec := range Catalogue() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			batch, err := spec.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := spec.RunStream(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := outcomeText(batch), outcomeText(stream)
+			if got != want {
+				t.Errorf("streaming outcome differs from batch:\n--- batch ---\n%s--- stream ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestLongRunStreamingSmoke runs the scaled-down long-run scenario —
+// the same streaming/drop-mode shape CI exercises under -race — and
+// checks the bounded-memory bookkeeping is alive.
+func TestLongRunStreamingSmoke(t *testing.T) {
+	o, err := SmokeLongRun().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Ops < 10_000 {
+		t.Errorf("smoke long run recorded only %d ops", o.Ops)
+	}
+	if o.Segments < 2 {
+		t.Errorf("smoke long run sealed only %d segments", o.Segments)
+	}
+	if o.SC == nil || o.EC == nil {
+		t.Fatal("missing streaming verdicts")
+	}
+	if len(o.Violated) != 0 {
+		t.Errorf("benign long run violated %v", o.Violated)
+	}
+	if o.Stats.Retained > 10_000 {
+		t.Errorf("monitor retained %d records — not bounded", o.Stats.Retained)
+	}
+	if o.PeakHeap == 0 {
+		t.Error("no heap samples taken")
+	}
+}
