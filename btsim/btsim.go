@@ -92,6 +92,7 @@ func (s *sysFunc) Run(cfg Config) (*Result, error) {
 			k:         cfg.MonitorK,
 			streaming: cfg.Streaming,
 			segSize:   cfg.StreamSegment,
+			ckptEvery: cfg.MonitorCheckpoint,
 			onWitness: cfg.OnWitness,
 		}
 	}

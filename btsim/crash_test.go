@@ -1,0 +1,149 @@
+package btsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/btsim"
+	_ "repro/btsim/systems"
+)
+
+// crashOpts is the crash-conformance baseline: a PoW run long enough
+// that a mid-run crash window and its catch-up are observable.
+func crashOpts(extra ...btsim.Option) []btsim.Option {
+	base := []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(120), btsim.WithSeed(7), btsim.WithReadEvery(6),
+	}
+	return append(base, extra...)
+}
+
+// TestWithCrashesObservable pins the crash options' observability on
+// the PoW flooding systems: a crash window changes the digest, surfaces
+// crash/restart/crashloss fault events, and fills Result.Recovery.
+func TestWithCrashesObservable(t *testing.T) {
+	for _, name := range []string{"bitcoin", "ethereum"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sys, ok := btsim.Lookup(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			benign := mustRun(t, sys, crashOpts()...)
+			crashed := mustRun(t, sys, crashOpts(
+				btsim.WithCrashes(btsim.Crash{Proc: 2, Start: 40, End: 80}),
+				btsim.WithDurability(true))...)
+
+			if benign.Digest() == crashed.Digest() {
+				t.Fatal("crash schedule did not change the digest")
+			}
+			if benign.Recovery != nil {
+				t.Fatal("benign run carries recovery stats")
+			}
+			rs := crashed.Recovery
+			if rs == nil || rs.Crashes != 1 || rs.Restarts != 1 || rs.DurableRestores != 1 {
+				t.Fatalf("recovery stats %+v, want one durable crash/restart", rs)
+			}
+			if rs.Solicits == 0 {
+				t.Fatalf("recovery stats %+v, want at least one catch-up solicit", rs)
+			}
+			kinds := map[string]int{}
+			for _, e := range crashed.FaultEvents {
+				kinds[e.Kind]++
+			}
+			if kinds["crash"] != 1 || kinds["restart"] != 1 {
+				t.Fatalf("fault kinds %v, want one crash and one restart", kinds)
+			}
+			if kinds["crashloss"] == 0 {
+				t.Fatalf("fault kinds %v, want crashloss drops while down", kinds)
+			}
+		})
+	}
+}
+
+// TestWithDurabilityObservable pins the durable-vs-amnesia split on the
+// same crash schedule: the digests differ, amnesia resyncs strictly
+// more blocks, and — the hierarchy claim — the amnesia run breaks
+// Local Monotonic Read (the restarted replica's reads jump backwards)
+// where the durable run keeps Eventual Consistency intact.
+func TestWithDurabilityObservable(t *testing.T) {
+	sys, ok := btsim.Lookup("bitcoin")
+	if !ok {
+		t.Fatal("bitcoin not registered")
+	}
+	window := btsim.WithCrashes(btsim.Crash{Proc: 2, Start: 40, End: 80})
+	durable := mustRun(t, sys, crashOpts(window, btsim.WithDurability(true))...)
+	amnesia := mustRun(t, sys, crashOpts(window, btsim.WithDurability(false))...)
+
+	if durable.Digest() == amnesia.Digest() {
+		t.Fatal("durability did not change the digest")
+	}
+	if amnesia.Recovery.ResyncBlocks <= durable.Recovery.ResyncBlocks {
+		t.Fatalf("amnesia resynced %d blocks, durable %d — amnesia must cost strictly more",
+			amnesia.Recovery.ResyncBlocks, durable.Recovery.ResyncBlocks)
+	}
+	_, ecD := durable.Check()
+	_, ecA := amnesia.Check()
+	if !ecD.OK {
+		t.Fatalf("durable recovery broke EC: %v", ecD.Failing())
+	}
+	if ecA.OK {
+		t.Fatal("amnesia recovery left EC intact — expected a LocalMonotonicRead violation")
+	}
+	failing := strings.Join(ecA.Failing(), ",")
+	if !strings.Contains(failing, "LocalMonotonicRead") {
+		t.Fatalf("amnesia broke %s, want LocalMonotonicRead", failing)
+	}
+}
+
+// TestCrashStopOption pins the permanent-crash variant: the process
+// never restarts and the run still completes with the survivors.
+func TestCrashStopOption(t *testing.T) {
+	sys, ok := btsim.Lookup("bitcoin")
+	if !ok {
+		t.Fatal("bitcoin not registered")
+	}
+	res := mustRun(t, sys, crashOpts(
+		btsim.WithCrashes(btsim.Crash{Proc: 3, Start: 50, End: btsim.NoHeal}))...)
+	rs := res.Recovery
+	if rs == nil || rs.Crashes != 1 || rs.Restarts != 0 {
+		t.Fatalf("recovery stats %+v, want one crash and no restart", rs)
+	}
+	// The crash-stopped replica's tree froze mid-run.
+	frozen, live := res.Trees[3].Len(), res.Trees[0].Len()
+	if frozen >= live {
+		t.Fatalf("crash-stopped tree has %d blocks vs %d live — it should have missed the tail", frozen, live)
+	}
+}
+
+// TestCrashValidation pins the config validation of the new options.
+func TestCrashValidation(t *testing.T) {
+	sys, ok := btsim.Lookup("bitcoin")
+	if !ok {
+		t.Fatal("bitcoin not registered")
+	}
+	if _, err := sys.Run(btsim.NewConfig(
+		btsim.WithCrashes(btsim.Crash{Proc: -1, Start: 0, End: 10}))); err == nil {
+		t.Error("negative crash proc accepted")
+	}
+	if _, err := sys.Run(btsim.NewConfig(
+		btsim.WithCrashes(btsim.Crash{Proc: 0, Start: 10, End: 10}))); err == nil {
+		t.Error("empty crash window accepted")
+	}
+}
+
+// TestCrashReplayDeterminism: identical crash configs replay to the
+// identical digest (the crash machinery is fully deterministic).
+func TestCrashReplayDeterminism(t *testing.T) {
+	sys, ok := btsim.Lookup("ethereum")
+	if !ok {
+		t.Fatal("ethereum not registered")
+	}
+	opts := crashOpts(
+		btsim.WithCrashes(btsim.Crash{Proc: 1, Start: 30, End: 70}, btsim.Crash{Proc: 2, Start: 90, End: btsim.NoHeal}),
+		btsim.WithDurability(false))
+	a := mustRun(t, sys, opts...)
+	b := mustRun(t, sys, opts...)
+	if a.Digest() != b.Digest() {
+		t.Fatalf("crash replay diverged: %s vs %s", a.Digest(), b.Digest())
+	}
+}

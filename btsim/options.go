@@ -88,6 +88,26 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%s%v[%d,%s)", kind, f.Left, f.Start, end)
 }
 
+// Crash declares one crash window: process Proc is down during
+// [Start, End). While down it neither mines, reads nor receives —
+// deliveries to it are lost, not deferred. End == NoHeal makes the
+// crash permanent (crash-stop); otherwise the process restarts at End
+// and catches up through the anti-entropy layer, restoring its durable
+// snapshot first when WithDurability(true) is set.
+type Crash struct {
+	Proc       int
+	Start, End int64
+}
+
+// String renders e.g. "crash[2][30,60)" or "crash[1][40,∞)".
+func (cw Crash) String() string {
+	end := fmt.Sprint(cw.End)
+	if cw.End == NoHeal {
+		end = "∞"
+	}
+	return fmt.Sprintf("crash[%d][%d,%s)", cw.Proc, cw.Start, end)
+}
+
 // Drop declares deterministic message loss: the Nth message (0-based)
 // addressed to process To is dropped; To < 0 matches every message.
 // This is the paper's Theorem 4.6/4.7 instrument — even a single lost
@@ -144,6 +164,12 @@ type Config struct {
 	Faults []Fault
 	// Adversary is the process-level strategy (zero value = benign).
 	Adversary Adversary
+	// Crashes are the run's crash–recovery windows (systems built on
+	// the replica flooding layer wire them; others ignore them).
+	Crashes []Crash
+	// Durable selects snapshot/restore recovery for crashed processes;
+	// false means amnesia (rejoin from genesis).
+	Durable bool
 	// Drop optionally injects deterministic message loss (PoW systems).
 	Drop *Drop
 	// Observer, when set, is called once per protocol round; returning
@@ -160,6 +186,15 @@ type Config struct {
 	// MonitorK, when > 0, additionally tracks k-Fork Coherence online,
 	// with live witnesses at the (k+1)-th token reuse. Implies Monitor.
 	MonitorK int
+	// MonitorCheckpoint, when > 0, checkpoint-cycles the online monitor
+	// roughly every MonitorCheckpoint consumed operations: the monitor
+	// serializes its bounded retained state, a fresh monitor is
+	// restored from the bytes, and the run continues on the restored
+	// one. The cycles are specified to be invisible — the finalized
+	// verdicts are byte-identical to an uninterrupted monitor's — which
+	// is the restart-safety claim of the crash–recovery model, and the
+	// catalogue test pins it on every scenario. Implies Monitor.
+	MonitorCheckpoint int
 	// OnWitness receives each violation witness the moment it forms
 	// (requires Monitor). It is called from inside the recording path:
 	// keep it fast and do not call back into the run.
@@ -231,6 +266,22 @@ func WithFaults(faults ...Fault) Option {
 // WithAdversary installs a process-level adversarial strategy.
 func WithAdversary(a Adversary) Option { return func(c *Config) { c.Adversary = a } }
 
+// WithCrashes installs the run's crash–recovery windows (last-wins,
+// like WithFaults: pass all windows in one call). Use End == NoHeal for
+// a crash-stop. Pair with WithDurability to pick the recovery
+// discipline.
+func WithCrashes(crashes ...Crash) Option {
+	return func(c *Config) { c.Crashes = crashes }
+}
+
+// WithDurability selects how crashed processes recover: true restores
+// the replica's durable snapshot at restart (it only fetches what it
+// missed while down); false — the default — is amnesia: the replica
+// rejoins from genesis and must resynchronize the whole tree.
+func WithDurability(durable bool) Option {
+	return func(c *Config) { c.Durable = durable }
+}
+
 // WithDropNth drops the nth message (0-based) addressed to process to;
 // to < 0 drops the nth message overall.
 func WithDropNth(nth, to int) Option {
@@ -265,6 +316,18 @@ func WithMonitorK(k int) Option {
 	return func(c *Config) {
 		c.Monitor = true
 		c.MonitorK = k
+	}
+}
+
+// WithMonitorCheckpoint checkpoint-cycles the online monitor every
+// `every` consumed operations (serialize → restore → continue), proving
+// mid-run that online checking is restart-safe: the cycles must not
+// change any finalized verdict. Result.Stream.Checkpoints counts the
+// cycles. Implies WithMonitor.
+func WithMonitorCheckpoint(every int) Option {
+	return func(c *Config) {
+		c.Monitor = true
+		c.MonitorCheckpoint = every
 	}
 }
 
@@ -312,8 +375,19 @@ func (c Config) validate() error {
 			return fmt.Errorf("fault %s ends before it starts", f)
 		}
 	}
+	for _, cw := range c.Crashes {
+		if cw.Proc < 0 {
+			return fmt.Errorf("crash window %s names a negative process", cw)
+		}
+		if cw.End != NoHeal && cw.End <= cw.Start {
+			return fmt.Errorf("crash window %s ends before it starts", cw)
+		}
+	}
 	if c.MonitorK < 0 {
 		return fmt.Errorf("negative MonitorK %d", c.MonitorK)
+	}
+	if c.MonitorCheckpoint < 0 {
+		return fmt.Errorf("negative MonitorCheckpoint %d", c.MonitorCheckpoint)
 	}
 	if c.OnWitness != nil && !c.Monitor {
 		return fmt.Errorf("OnWitness requires the monitor (use WithMonitor)")
@@ -331,6 +405,7 @@ func (c Config) Base() protocols.Config {
 		Seed:         c.Seed,
 		ReadEvery:    c.ReadEvery,
 		RecordFaults: c.FaultLog,
+		Durable:      c.Durable,
 		Adversary: adversary.Config{
 			Strategy:     adversary.Strategy(c.Adversary.Strategy),
 			Proc:         c.Adversary.Proc,
@@ -355,6 +430,9 @@ func (c Config) Base() protocols.Config {
 			sched.Windows = append(sched.Windows, f.window(n))
 		}
 		pc.Faults = sched
+	}
+	for _, cw := range c.Crashes {
+		pc.Crashes = append(pc.Crashes, simnet.CrashWindow{Proc: cw.Proc, Start: cw.Start, End: cw.End})
 	}
 	if c.Observer != nil {
 		obs, system, mr := c.Observer, c.system, c.monrun

@@ -27,6 +27,12 @@ type StreamOutcome struct {
 	// Segments and Ops describe the streamed history: sealed segment
 	// count (WithStreaming only) and operations consumed.
 	Segments, Ops int
+	// Checkpoints counts the checkpoint→restore cycles the monitor went
+	// through mid-run (WithMonitorCheckpoint); CheckpointErr carries
+	// the first cycle failure — nil in any correct run, surfaced rather
+	// than swallowed so tests can pin it.
+	Checkpoints   int
+	CheckpointErr error
 	// Stats is the monitor's retained-state summary — the observable
 	// side of the bounded-memory claim.
 	Stats consistency.MonitorStats
@@ -44,13 +50,60 @@ type monitorRun struct {
 	k         int
 	streaming bool
 	segSize   int
+	ckptEvery int
 	onWitness func(consistency.Witness)
 
-	rec  *history.Recorder
-	mon  *consistency.Monitor
-	seg  *history.SegmentSink
-	live []consistency.Witness
-	n    int
+	rec    *history.Recorder
+	mon    *consistency.Monitor
+	monCfg consistency.MonitorConfig
+	seg    *history.SegmentSink
+	live   []consistency.Witness
+	n      int
+
+	ckptOps int
+	ckpts   int
+	ckptErr error
+}
+
+// monSink delegates the stream to the run's *current* monitor, so a
+// checkpoint cycle can swap in the restored monitor mid-stream.
+type monSink struct{ mr *monitorRun }
+
+func (s monSink) OpDone(op *history.Op) {
+	s.mr.mon.OpDone(op)
+	s.mr.opConsumed(1)
+}
+func (s monSink) CommDone(e history.CommEvent) { s.mr.mon.CommDone(e) }
+func (s monSink) Faulty(p int)                 { s.mr.mon.Faulty(p) }
+
+// opConsumed advances the checkpoint-cycle countdown.
+func (mr *monitorRun) opConsumed(n int) {
+	if mr.ckptEvery <= 0 || mr.ckptErr != nil {
+		return
+	}
+	mr.ckptOps += n
+	for mr.ckptOps >= mr.ckptEvery {
+		mr.ckptOps -= mr.ckptEvery
+		mr.cycle()
+	}
+}
+
+// cycle is one crash–recovery cut on the observer: serialize the
+// monitor's retained state, restore a fresh monitor from the bytes, and
+// continue on the restored one. Specified to be invisible.
+func (mr *monitorRun) cycle() {
+	data, err := mr.mon.Checkpoint()
+	if err != nil {
+		mr.ckptErr = err
+		return
+	}
+	m2, err := consistency.RestoreMonitor(data, mr.monCfg)
+	if err != nil {
+		mr.ckptErr = err
+		return
+	}
+	mr.mon = m2
+	mr.ckpts++
 }
 
 // bind is the protocols.Config.Stream hook: the runner hands over its
@@ -58,7 +111,7 @@ type monitorRun struct {
 // before the first operation is recorded.
 func (mr *monitorRun) bind(rec *history.Recorder, score core.Score) {
 	mr.rec = rec
-	mr.mon = consistency.NewMonitor(consistency.MonitorConfig{
+	mr.monCfg = consistency.MonitorConfig{
 		Procs: rec.Procs(),
 		Score: score,
 		P:     core.WellFormed{}, // what Result.Check classifies with
@@ -73,14 +126,23 @@ func (mr *monitorRun) bind(rec *history.Recorder, score core.Score) {
 				mr.onWitness(w)
 			}
 		},
-	})
+	}
+	mr.mon = consistency.NewMonitor(mr.monCfg)
 	if mr.streaming {
-		mr.seg = history.NewSegmentSink(mr.segSize, mr.mon.ConsumeSegment)
-		mr.seg.OnFaulty = mr.mon.Faulty
+		// The segment handler reads mr.mon at delivery time (not a bound
+		// method), so checkpoint cycles swap the consumer too; cycles
+		// land on segment boundaries in this mode.
+		mr.seg = history.NewSegmentSink(mr.segSize, func(seg *history.Segment) {
+			mr.mon.ConsumeSegment(seg)
+			if seg != nil {
+				mr.opConsumed(len(seg.Ops))
+			}
+		})
+		mr.seg.OnFaulty = func(p int) { mr.mon.Faulty(p) }
 		rec.SetSink(mr.seg)
 		rec.SetRetain(false)
 	} else {
-		rec.SetSink(mr.mon)
+		rec.SetSink(monSink{mr})
 	}
 }
 
@@ -100,7 +162,8 @@ func (mr *monitorRun) finish(res *Result) {
 	so := &StreamOutcome{
 		SC: sc, EC: ec,
 		Live: mr.live, LiveCount: mr.n,
-		Stats: mr.mon.Stats(),
+		Stats:       mr.mon.Stats(),
+		Checkpoints: mr.ckpts, CheckpointErr: mr.ckptErr,
 	}
 	so.Ops = so.Stats.Ops
 	if mr.seg != nil {

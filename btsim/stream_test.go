@@ -123,6 +123,41 @@ func TestStreamingModeMatchesTeeMode(t *testing.T) {
 	}
 }
 
+// TestStreamingCheckpointCycles pins checkpoint cycling in
+// bounded-memory mode: with WithStreaming + WithMonitorCheckpoint the
+// monitor is serialized and restored at segment boundaries, and the
+// finalized verdicts still match an uncycled streaming run exactly —
+// restart-safe online checking without retained history.
+func TestStreamingCheckpointCycles(t *testing.T) {
+	base := []btsim.Option{
+		btsim.WithN(4), btsim.WithRounds(60), btsim.WithSeed(5),
+		btsim.WithMerits(1, 1, 1, 2),
+		btsim.WithAdversary(btsim.Adversary{Strategy: btsim.Selfish, Lead: 2}),
+		btsim.WithStreaming(8),
+	}
+	plain, err := btsim.Run("bitcoin", base[:len(base):len(base)]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycled, err := btsim.Run("bitcoin", append(base[:len(base):len(base)], btsim.WithMonitorCheckpoint(10))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := cycled.Stream
+	if so.CheckpointErr != nil {
+		t.Fatalf("checkpoint cycle failed: %v", so.CheckpointErr)
+	}
+	if so.Checkpoints == 0 {
+		t.Fatalf("run consumed %d ops but never cycled", so.Ops)
+	}
+	if got, want := verdictText(so.SC), verdictText(plain.Stream.SC); got != want {
+		t.Errorf("cycled SC != plain SC:\n--- plain ---\n%s--- cycled ---\n%s", want, got)
+	}
+	if got, want := verdictText(so.EC), verdictText(plain.Stream.EC); got != want {
+		t.Errorf("cycled EC != plain EC:\n--- plain ---\n%s--- cycled ---\n%s", want, got)
+	}
+}
+
 // TestObserverSeesLiveWitnesses checks the live channel: the observer's
 // Progress carries a growing witness count during a violating run, and
 // OnWitness receives the structured witnesses themselves.

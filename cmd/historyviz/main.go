@@ -2,8 +2,8 @@
 // of the paper's Figures 2–4: per-process timelines of read() operations
 // with the returned blockchains, plus the BlockTree, the criterion
 // verdicts with their counterexample witnesses, and — for adversarial
-// runs — the fault timeline (drops, partition cuts/heals, withheld and
-// released blocks). It can render the three built-in paper histories, a
+// runs — the fault timeline (drops, partition cuts/heals, crash and
+// restart marks, withheld and released blocks). It can render the three built-in paper histories, a
 // fresh demo run of any system registered with the public btsim
 // registry ("bitcoin", "byzcoin", "fabric", ...), or any scenario of
 // the adversarial catalogue (e.g. "bitcoin/selfish",
@@ -129,10 +129,11 @@ func render(res *btsim.Result) {
 	}
 }
 
-// renderFaults draws the fault timeline: partition cuts/heals and the
-// adversary's withhold/release/equivocate decisions as individual
-// events, with the (potentially numerous) per-message drop/defer events
-// summarized into counts.
+// renderFaults draws the fault timeline: partition cuts/heals,
+// crash/restart marks and the adversary's withhold/release/equivocate
+// decisions as individual events, with the (potentially numerous)
+// per-message drop/defer/partloss/crashloss events summarized into
+// counts.
 func renderFaults(res *btsim.Result) {
 	if len(res.FaultEvents) == 0 {
 		return
@@ -141,14 +142,16 @@ func renderFaults(res *btsim.Result) {
 	var timeline []string
 	for _, e := range res.FaultEvents {
 		switch e.Kind {
-		case "drop", "defer", "partloss":
+		case "drop", "defer", "partloss", "crashloss":
 			perMsg[e.Kind]++
 		default:
+			// includes "cut"/"heal" and the crash–recovery marks
+			// ("crash", "restart"), which carry no From/To pair.
 			timeline = append(timeline, e.String())
 		}
 	}
 	fmt.Printf("\nfaults │ adversary=%s", res.AdversaryName)
-	for _, k := range []string{"drop", "defer", "partloss"} {
+	for _, k := range []string{"drop", "defer", "partloss", "crashloss"} {
 		if perMsg[k] > 0 {
 			fmt.Printf(" %s×%d", k, perMsg[k])
 		}

@@ -115,6 +115,9 @@ func TestScenarioDigestsPinned(t *testing.T) {
 		"bitcoin/partition-noheal": "1d7aa61e2e4da285",
 		"bitcoin/eclipse":          "d3082e19daeaf734",
 		"bitcoin/churn":            "70b1748a305da816",
+		"bitcoin/crashstop":        "5cf9c33ab25ea14d",
+		"bitcoin/crash-durable":    "57986243b62b4e3a",
+		"bitcoin/crash-amnesia":    "c38059b18e609f9a",
 		"ethereum/forkflood":       "b21a721fd18bf5fa",
 		"fabric/equivocate":        "b6f94a45a7e46d66",
 	}

@@ -1,0 +1,296 @@
+package consistency
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// ckptSink forwards the stream to a monitor and, after `at` completed
+// operations, checkpoints it, restores a fresh monitor from the bytes,
+// verifies the restored monitor re-checkpoints byte-identically, and
+// continues feeding the restored one — the crash–recovery cut, injected
+// mid-stream.
+type ckptSink struct {
+	t   *testing.T
+	mon *Monitor
+	cfg MonitorConfig
+	at  int // cycle after this many OpDone calls (<0 = never)
+	n   int
+}
+
+func (s *ckptSink) cycle() {
+	s.t.Helper()
+	data, err := s.mon.Checkpoint()
+	if err != nil {
+		s.t.Fatalf("checkpoint: %v", err)
+	}
+	m2, err := RestoreMonitor(data, s.cfg)
+	if err != nil {
+		s.t.Fatalf("restore: %v", err)
+	}
+	data2, err := m2.Checkpoint()
+	if err != nil {
+		s.t.Fatalf("re-checkpoint: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		s.t.Fatalf("restored monitor re-checkpoints differently (%d vs %d bytes)", len(data), len(data2))
+	}
+	s.mon = m2
+}
+
+func (s *ckptSink) OpDone(op *history.Op) {
+	s.mon.OpDone(op)
+	s.n++
+	if s.n == s.at {
+		s.cycle()
+	}
+}
+
+func (s *ckptSink) CommDone(e history.CommEvent) { s.mon.CommDone(e) }
+func (s *ckptSink) Faulty(p int)                 { s.mon.Faulty(p) }
+
+// runCheckpointed records the build through a monitor that is
+// checkpoint-cycled after `at` ops, delivers pending ops, and returns
+// the surviving monitor plus the snapshot for batch comparison.
+func runCheckpointed(t *testing.T, procs, horizon, k, at int, build func(rec *history.Recorder)) (*Monitor, *history.History) {
+	t.Helper()
+	rec := history.NewRecorder(procs, nil)
+	cfg := MonitorConfig{Procs: procs, Horizon: horizon, K: k, Table: rec.Table()}
+	sink := &ckptSink{t: t, mon: NewMonitor(cfg), cfg: cfg, at: at}
+	rec.SetSink(sink)
+	build(rec)
+	h := rec.Snapshot()
+	for _, op := range rec.PendingOps() {
+		sink.mon.OpPending(op)
+	}
+	return sink.mon, h
+}
+
+// ckptBuild is the deterministic workload: forks (StrongPrefix +
+// EventualPrefix violations), a backwards read (LocalMonotonicRead), a
+// forged never-appended block (BlockValidity), a shared-token fork
+// group (k-Fork), a faulty process, and a permanently-pending append —
+// every retained structure of the monitor is populated.
+func ckptBuild(rec *history.Recorder) {
+	base := chainN(5)
+	fork := forkN(base, 2, 4)
+	recordChain(rec, base, fork)
+	// Real pipelines intern every attached block (the Recorder.Table
+	// contract) so interned reads can always materialize; the restore
+	// path depends on that invariant too.
+	for _, c := range []core.Chain{base, fork} {
+		for _, b := range c {
+			rec.InternBlock(b)
+		}
+	}
+	rec.MarkFaulty(2)
+	rec.Read(0, base)
+	rec.Read(1, fork)
+	rec.Read(2, base) // faulty: excluded
+	rec.ReadHead(0, base.Head())
+	rec.Read(0, base[:3].Clone()) // score drop: LMR violation
+	forged := core.NewBlock(base.Head().ID, base.Head().Height+1, 1, 99, []byte("forged"))
+	rec.InternBlock(forged)
+	rec.Read(1, base.Clone().Append(forged)) // BlockValidity violation
+	tok := core.NewBlock(base[2].ID, base[2].Height+1, 0, 50, nil).WithToken("tkn(x)")
+	tok2 := core.NewBlock(base[2].ID, base[2].Height+1, 1, 51, []byte{1}).WithToken("tkn(x)")
+	rec.Append(0, tok, true)
+	rec.Append(1, tok2, true) // k=1 fork group
+	rec.ReadHead(1, fork.Head())
+	rec.InvokeAppend(0, core.NewBlock(fork.Head().ID, fork.Head().Height+1, 0, 60, nil)) // never responds
+	rec.ReadHead(0, base.Head())
+	rec.ReadHead(1, fork.Head())
+}
+
+// countOps counts the completed operations ckptBuild records, so the
+// equivalence test can place the cut at every position.
+func countOps(procs int, build func(rec *history.Recorder)) int {
+	rec := history.NewRecorder(procs, nil)
+	build(rec)
+	n := 0
+	for _, op := range rec.Snapshot().Ops {
+		if !op.Pending {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCheckpointEveryCutEquivalence injects the checkpoint/restore
+// cycle after every possible prefix of the deterministic workload and
+// requires Finalize (and KForkReport) to match both the uninterrupted
+// monitor and batch Classify byte-for-byte.
+func TestCheckpointEveryCutEquivalence(t *testing.T) {
+	const procs, k = 3, 1
+	total := countOps(procs, ckptBuild)
+	if total < 10 {
+		t.Fatalf("workload records only %d ops", total)
+	}
+
+	// Uninterrupted reference + batch reference.
+	ref, h := runCheckpointed(t, procs, 0, k, -1, ckptBuild)
+	rsc, rec := ref.Finalize()
+	chk := NewChecker(nil, nil)
+	bsc, bec := chk.Classify(h)
+	if got, want := verdictDump(rsc), verdictDump(bsc); got != want {
+		t.Fatalf("uninterrupted stream disagrees with batch:\n--- batch ---\n%s--- stream ---\n%s", want, got)
+	}
+	wantSC, wantEC := verdictDump(rsc), verdictDump(rec)
+	wantKF := reportDump(ref.KForkReport(k))
+
+	for cut := 1; cut <= total; cut++ {
+		mon, _ := runCheckpointed(t, procs, 0, k, cut, ckptBuild)
+		msc, mec := mon.Finalize()
+		if got := verdictDump(msc); got != wantSC {
+			t.Fatalf("cut=%d SC diverged:\n--- uninterrupted ---\n%s--- checkpointed ---\n%s", cut, wantSC, got)
+		}
+		if got := verdictDump(mec); got != wantEC {
+			t.Fatalf("cut=%d EC diverged:\n--- uninterrupted ---\n%s--- checkpointed ---\n%s", cut, wantEC, got)
+		}
+		if got := reportDump(mon.KForkReport(k)); got != wantKF {
+			t.Fatalf("cut=%d KFork diverged:\n--- uninterrupted ---\n%s--- checkpointed ---\n%s", cut, wantKF, got)
+		}
+	}
+	if verdictDump(bec) != wantEC {
+		t.Fatalf("EC batch/stream mismatch:\n--- batch ---\n%s--- stream ---\n%s", verdictDump(bec), wantEC)
+	}
+}
+
+// TestCheckpointDeterministicBytes: two monitors fed the identical
+// stream checkpoint to identical bytes (the pinnable-digest property).
+func TestCheckpointDeterministicBytes(t *testing.T) {
+	run := func() []byte {
+		rec := history.NewRecorder(3, nil)
+		mon := NewMonitor(MonitorConfig{Procs: 3, Table: rec.Table()})
+		rec.SetSink(mon)
+		ckptBuild(rec)
+		data, err := mon.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs checkpoint differently (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestCheckpointTablelessRestore: a checkpoint taken at end-of-stream
+// restores against a nil table (the recovered process lost its
+// recorder) and still Finalizes byte-identically — the embedded block
+// pool is self-contained.
+func TestCheckpointTablelessRestore(t *testing.T) {
+	rec := history.NewRecorder(3, nil)
+	mon := NewMonitor(MonitorConfig{Procs: 3, K: 1, Table: rec.Table()})
+	rec.SetSink(mon)
+	ckptBuild(rec)
+	for _, op := range rec.PendingOps() {
+		mon.OpPending(op)
+	}
+	data, err := mon.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsc, wec := mon.Finalize()
+
+	m2, err := RestoreMonitor(data, MonitorConfig{Procs: 3, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsc, gec := m2.Finalize()
+	if got, want := verdictDump(gsc), verdictDump(wsc); got != want {
+		t.Fatalf("tableless SC diverged:\n--- with table ---\n%s--- tableless ---\n%s", want, got)
+	}
+	if got, want := verdictDump(gec), verdictDump(wec); got != want {
+		t.Fatalf("tableless EC diverged:\n--- with table ---\n%s--- tableless ---\n%s", want, got)
+	}
+	if got, want := reportDump(m2.KForkReport(1)), reportDump(mon.KForkReport(1)); got != want {
+		t.Fatalf("tableless KFork diverged:\n--- with table ---\n%s--- tableless ---\n%s", want, got)
+	}
+}
+
+// TestCheckpointValidation pins the failure modes: corrupt bytes, a
+// version from the future, and shape-mismatched configs all error.
+func TestCheckpointValidation(t *testing.T) {
+	mon := NewMonitor(MonitorConfig{Procs: 3})
+	data, err := mon.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreMonitor([]byte("not json"), MonitorConfig{Procs: 3}); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if _, err := RestoreMonitor(data, MonitorConfig{Procs: 4}); err == nil {
+		t.Error("proc-count mismatch accepted")
+	}
+	if _, err := RestoreMonitor(data, MonitorConfig{Procs: 3, Horizon: 7}); err == nil {
+		t.Error("horizon mismatch accepted")
+	}
+	if _, err := RestoreMonitor(data, MonitorConfig{Procs: 3, K: 2}); err == nil {
+		t.Error("k mismatch accepted")
+	}
+	bad := bytes.Replace(data, []byte(`"Version":1`), []byte(`"Version":99`), 1)
+	if _, err := RestoreMonitor(bad, MonitorConfig{Procs: 3}); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := RestoreMonitor(data, MonitorConfig{Procs: 3}); err != nil {
+		t.Errorf("valid empty checkpoint rejected: %v", err)
+	}
+}
+
+// FuzzMonitorCheckpoint drives the randomized fuzzBuild streams with a
+// checkpoint/restore cycle injected at a fuzz-chosen position and
+// requires the finalized verdicts (and both k-fork reports) to equal
+// batch Classify on the full history — the cut must be invisible.
+func FuzzMonitorCheckpoint(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 3, 8, 11, 2, 3, 19, 4})
+	f.Add(uint8(9), []byte{0, 0, 2, 3, 11, 3, 2, 11, 3, 5, 45, 5, 6, 70, 6, 3})
+	f.Add(uint8(1), []byte{7, 71, 15, 0, 2, 3, 3, 3, 7, 7, 13, 5, 101, 6, 66, 4, 12, 20, 28})
+	f.Add(uint8(250), []byte{1, 9, 17, 25, 33, 41, 49, 57, 3, 11, 19, 27, 2, 10, 18, 26, 4, 12})
+	f.Fuzz(func(t *testing.T, cutByte uint8, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		const procs = 3
+		horizon := 0
+		if len(data) > 0 {
+			horizon = int(data[0]) % 5
+		}
+		build := func(rec *history.Recorder) { fuzzBuild(rec, procs, data) }
+		total := countOps(procs, build)
+		if total == 0 {
+			return
+		}
+		cut := int(cutByte)%total + 1
+
+		rec := history.NewRecorder(procs, nil)
+		cfg := MonitorConfig{Procs: procs, Horizon: horizon, Table: rec.Table()}
+		sink := &ckptSink{t: t, mon: NewMonitor(cfg), cfg: cfg, at: cut}
+		rec.SetSink(sink)
+		build(rec)
+		h := rec.Snapshot()
+		for _, op := range rec.PendingOps() {
+			sink.mon.OpPending(op)
+		}
+		msc, mec := sink.mon.Finalize()
+
+		chk := NewChecker(nil, nil)
+		chk.Horizon = horizon
+		bsc, bec := chk.Classify(h)
+		if got, want := verdictDump(msc), verdictDump(bsc); got != want {
+			t.Errorf("cut=%d/%d SC mismatch:\n--- batch ---\n%s--- checkpointed ---\n%s", cut, total, want, got)
+		}
+		if got, want := verdictDump(mec), verdictDump(bec); got != want {
+			t.Errorf("cut=%d/%d EC mismatch:\n--- batch ---\n%s--- checkpointed ---\n%s", cut, total, want, got)
+		}
+		for _, k := range []int{1, 2} {
+			if got, want := reportDump(sink.mon.KForkReport(k)), reportDump(chk.KForkCoherence(h, k)); got != want {
+				t.Errorf("cut=%d/%d KFork(%d) mismatch:\n--- batch ---\n%s--- checkpointed ---\n%s", cut, total, k, want, got)
+			}
+		}
+	})
+}

@@ -60,6 +60,7 @@ func Run(cfg Config) *protocols.Result {
 	}
 	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
 	cfg.ApplyNet(group.Net)
+	recovery := cfg.ApplyCrashes(sim, group)
 	group.SetPredicate(core.WellFormed{})
 
 	// Adversarial wiring: one process may run a selfish-mining /
@@ -184,6 +185,7 @@ func Run(cfg Config) *protocols.Result {
 		AdversaryName:  cfg.Adversary.Name(),
 	}
 	adv.ExportStats(stats)
+	res.ExportRecovery(recovery)
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())
 	}

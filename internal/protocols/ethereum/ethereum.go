@@ -49,6 +49,7 @@ func Run(cfg Config) *protocols.Result {
 	}
 	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
 	cfg.ApplyNet(group.Net)
+	recovery := cfg.ApplyCrashes(sim, group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
 
@@ -116,6 +117,7 @@ func Run(cfg Config) *protocols.Result {
 		AdversaryName:  cfg.Adversary.Name(),
 	}
 	adv.ExportStats(stats)
+	res.ExportRecovery(recovery)
 	for _, p := range group.Procs {
 		res.Trees = append(res.Trees, p.Tree().Clone())
 	}

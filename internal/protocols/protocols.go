@@ -41,8 +41,20 @@ type Config struct {
 	// under a permanent cut. Nil means a fault-free network.
 	Faults *simnet.Schedule
 	// RecordFaults enables the network fault-event log, surfaced in
-	// Result.FaultEvents (implied when Faults or an adversary is set).
+	// Result.FaultEvents (implied when Faults, Crashes or an adversary
+	// is set).
 	RecordFaults bool
+	// Crashes optionally takes individual processes down on a
+	// deterministic schedule (see simnet.CrashWindow): deliveries to a
+	// down process are lost, it neither mines nor reads, and at the
+	// window end it restarts and catches up through the anti-entropy
+	// layer. Nil means no crashes.
+	Crashes []simnet.CrashWindow
+	// Durable selects the recovery discipline when Crashes is set: a
+	// durable replica restores its snapshotted tree on restart and only
+	// fetches what it missed; otherwise it rejoins from genesis
+	// (amnesia) and must resynchronize everything.
+	Durable bool
 	// Adversary configures a process-level adversarial strategy
 	// (selfish mining, equivocation, withholding). The zero value is
 	// benign. Protocol simulators that support adversaries wire it;
@@ -92,13 +104,33 @@ func (c *Config) Tick(round int, now int64) bool {
 
 // ApplyNet installs the common fault knobs on a run's network. Every
 // protocol simulator calls it right after building its replica group.
+// Partition windows and crash windows merge into one schedule; the
+// caller's Faults schedule is never mutated.
 func (c *Config) ApplyNet(nw *simnet.Network) {
-	if c.RecordFaults || c.Faults != nil || c.Adversary.Active() {
+	if c.RecordFaults || c.Faults != nil || c.Adversary.Active() || len(c.Crashes) > 0 {
 		nw.RecordFaults(true)
 	}
-	if c.Faults != nil {
-		nw.SetSchedule(c.Faults)
+	sched := c.Faults
+	if len(c.Crashes) > 0 {
+		s := &simnet.Schedule{Crashes: c.Crashes}
+		if c.Faults != nil {
+			s.Windows = c.Faults.Windows
+		}
+		sched = s
 	}
+	if sched != nil {
+		nw.SetSchedule(sched)
+	}
+}
+
+// ApplyCrashes wires crash recovery for the run's replica group (called
+// after ApplyNet, which armed the crash schedule). Returns nil when no
+// crashes are configured.
+func (c *Config) ApplyCrashes(sim *simnet.Sim, group *replica.Group) *replica.RecoveryStats {
+	if len(c.Crashes) == 0 {
+		return nil
+	}
+	return group.EnableCrashRecovery(sim, replica.CrashPlan{Durable: c.Durable})
 }
 
 // AdversaryWiring is the per-run strategy state shared by the mining
@@ -138,6 +170,9 @@ func (c *Config) WireAdversary(group *replica.Group) *AdversaryWiring {
 // retarget epochs) lives inside mint, so it is identical on the honest
 // and adversarial paths.
 func (w *AdversaryWiring) MineTick(p *replica.Process, mint adversary.Mint) {
+	if p.Down() {
+		return // a crashed process does not even run the lottery
+	}
 	if w.Selfish != nil && p.ID == w.ID {
 		w.Selfish.Step(mint)
 		return
@@ -243,6 +278,25 @@ type Result struct {
 	// AdversaryName labels the adversarial strategy of the run ("—"
 	// when benign), for scenario matrices.
 	AdversaryName string
+	// Recovery carries the crash–recovery counters when the run had a
+	// crash schedule (nil otherwise).
+	Recovery *replica.RecoveryStats
+}
+
+// ExportRecovery folds the recovery counters into the stats map and
+// records them on the result (nil-safe; called by crash-aware runners).
+func (r *Result) ExportRecovery(rs *replica.RecoveryStats) {
+	if rs == nil {
+		return
+	}
+	r.Recovery = rs
+	r.Stats["crashes"] = rs.Crashes
+	r.Stats["restarts"] = rs.Restarts
+	r.Stats["durableRestores"] = rs.DurableRestores
+	r.Stats["amnesiaResets"] = rs.AmnesiaResets
+	r.Stats["resyncBlocks"] = rs.ResyncBlocks
+	r.Stats["solicits"] = rs.Solicits
+	r.Stats["solicitRetries"] = rs.Retries
 }
 
 // ComputeForkMax fills MeasuredForkMax from the replica trees.

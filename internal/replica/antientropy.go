@@ -31,6 +31,11 @@ type reqMsg struct {
 	ID core.BlockID
 }
 
+// syncMsg solicits an immediate inventory reply — the catch-up opener a
+// restarted replica broadcasts (crash.go) instead of waiting for the
+// next periodic advertise round.
+type syncMsg struct{}
+
 // EnableAntiEntropy starts the inventory/repair loop at every process of
 // the group: each process broadcasts its leaves every period time units,
 // `rounds` times. Message handlers for inv/req are installed
@@ -49,25 +54,46 @@ func (g *Group) EnableAntiEntropy(sim *simnet.Sim, period int64, rounds int) {
 	}
 }
 
-// installAntiEntropy registers the inv/req handler for the process.
+// installAntiEntropy registers the inv/req/sync handler for the process
+// (idempotent: a second install is a no-op).
 func (p *Process) installAntiEntropy() {
+	if p.aeInstalled {
+		return
+	}
+	p.aeInstalled = true
 	p.nw.AddHandler(p.ID, func(m simnet.Message) {
 		switch msg := m.Payload.(type) {
 		case invMsg:
 			p.onInventory(m.From, msg)
 		case reqMsg:
 			p.onRequest(m.From, msg)
+		case syncMsg:
+			p.onSolicit(m.From)
 		}
 	})
 }
 
-// advertise broadcasts the process's current leaves.
+// advertise broadcasts the process's current leaves. A crashed process
+// advertises nothing (its periodic timer is suppressed).
 func (p *Process) advertise() {
+	if p.Down() {
+		return
+	}
 	leaves := p.tree.Leaves()
 	if len(leaves) == 0 {
 		return
 	}
 	p.nw.Broadcast(p.ID, invMsg{Leaves: leaves})
+}
+
+// onSolicit answers a catch-up solicit with a point-to-point inventory
+// of this process's leaves; the requester then pulls what it is missing
+// through the ordinary inv/req repair path.
+func (p *Process) onSolicit(from int) {
+	if from == p.ID {
+		return
+	}
+	p.nw.Send(p.ID, from, invMsg{Leaves: p.tree.Leaves()})
 }
 
 // onInventory requests every advertised block this process does not hold

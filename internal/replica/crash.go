@@ -1,0 +1,197 @@
+package replica
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// This file implements the crash–recovery half of the fault model at
+// the replica layer. The network (internal/simnet) takes processes down
+// and up on a deterministic schedule; here each process gains a durable
+// snapshot of its replica state and a catch-up procedure that runs on
+// restart. Two recovery disciplines are modeled:
+//
+//   - durable: the replica persists its block tree and pending buffer
+//     at crash time, restores them on restart, and only has to fetch
+//     the blocks it missed while down;
+//   - amnesia: the replica rejoins from genesis and must resynchronize
+//     the whole tree.
+//
+// Either way, catch-up rides the anti-entropy layer (antientropy.go): a
+// restarted replica solicits inventories from its peers, requests the
+// blocks it is missing, and peers resend whole chain segments
+// root-first. Solicits retry with doubling backoff a bounded number of
+// times, covering inventory replies lost to concurrent partitions or
+// further crashes. The durable-vs-amnesia split in recovery traffic and
+// consistency violations is what the scenario catalogue measures.
+
+// Snapshot is the durable state of a Process: everything needed to
+// restore the replica exactly as it was at crash time. Block pointers
+// are shared (blocks are immutable).
+type Snapshot struct {
+	// Blocks are the attached blocks in (height, ID) order — parents
+	// always precede children — genesis excluded.
+	Blocks []*core.Block
+	// Pending are the buffered orphans (parent not yet arrived), in
+	// deterministic (missing-parent, ID) order.
+	Pending []*core.Block
+	// Rejected is the invalid-block counter.
+	Rejected int
+	// Mute preserves the withholding flag across the crash.
+	Mute bool
+}
+
+// Snapshot captures the process's replica state. The caller owns the
+// result; it is not affected by later process activity.
+func (p *Process) Snapshot() *Snapshot {
+	s := &Snapshot{Rejected: p.rejected, Mute: p.Mute}
+	for _, b := range p.tree.Blocks() {
+		if !b.IsGenesis() {
+			s.Blocks = append(s.Blocks, b)
+		}
+	}
+	parents := make([]core.BlockID, 0, len(p.pending))
+	for parent := range p.pending {
+		parents = append(parents, parent)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	for _, parent := range parents {
+		kids := append([]*core.Block(nil), p.pending[parent]...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].ID < kids[j].ID })
+		s.Pending = append(s.Pending, kids...)
+	}
+	return s
+}
+
+// Restore replaces the process's replica state with the snapshot — the
+// durable-recovery path. No history events are recorded: restoring from
+// local storage is not communication, and the update events for these
+// blocks were already recorded when they first arrived.
+func (p *Process) Restore(s *Snapshot) {
+	p.reset()
+	for _, b := range s.Blocks {
+		if p.tree.Attach(b) == nil {
+			p.seen[b.ID] = true
+		}
+	}
+	for _, b := range s.Pending {
+		if !p.pendingHas[b.ID] {
+			p.pendingHas[b.ID] = true
+			p.pending[b.Parent] = append(p.pending[b.Parent], b)
+		}
+	}
+	p.rejected = s.Rejected
+	p.Mute = s.Mute
+}
+
+// Reset discards the replica state down to genesis — the amnesia
+// (non-durable) recovery path. The rejected counter survives as a
+// cumulative diagnostic.
+func (p *Process) Reset() { p.reset() }
+
+func (p *Process) reset() {
+	p.tree = core.NewTree()
+	p.pending = make(map[core.BlockID][]*core.Block)
+	p.pendingHas = make(map[core.BlockID]bool)
+	p.seen = make(map[core.BlockID]bool)
+}
+
+// Down reports whether this process is currently crashed. Harness
+// timers call it before acting for the process.
+func (p *Process) Down() bool { return p.nw.Down(p.ID) }
+
+// CrashPlan configures Group.EnableCrashRecovery.
+type CrashPlan struct {
+	// Durable selects snapshot/restore recovery; false means amnesia.
+	Durable bool
+	// RetryAfter is the initial catch-up backoff: after each solicit
+	// the replica waits this long, doubling per attempt, before
+	// checking progress and re-soliciting. Default 8.
+	RetryAfter int64
+	// MaxRetries bounds the re-solicits per recovery. Default 3.
+	MaxRetries int
+}
+
+// RecoveryStats counts crash–recovery activity across a run.
+type RecoveryStats struct {
+	Crashes         int // crash windows opened
+	Restarts        int // recoveries fired
+	DurableRestores int // restarts that restored a snapshot
+	AmnesiaResets   int // restarts that rejoined from genesis
+	Solicits        int // catch-up inventory solicits (incl. retries)
+	Retries         int // solicits after the first per recovery
+	ResyncBlocks    int // blocks (re)fetched between restart and catch-up end
+}
+
+// EnableCrashRecovery wires the group's replicas to the network's crash
+// schedule: on crash a durable replica snapshots its state; on restart
+// it restores (or resets, when amnesia) and catches up via the
+// anti-entropy layer with bounded retry/backoff. Returns the live stats
+// (also kept on g.Recovery). Anti-entropy message handlers are
+// installed idempotently, so combining with EnableAntiEntropy is safe.
+func (g *Group) EnableCrashRecovery(sim *simnet.Sim, plan CrashPlan) *RecoveryStats {
+	if plan.RetryAfter <= 0 {
+		plan.RetryAfter = 8
+	}
+	if plan.MaxRetries <= 0 {
+		plan.MaxRetries = 3
+	}
+	stats := &RecoveryStats{}
+	g.Recovery = stats
+	for _, p := range g.Procs {
+		p.installAntiEntropy()
+	}
+	snaps := make(map[int]*Snapshot)
+	g.Net.OnCrash(func(id int) {
+		stats.Crashes++
+		if plan.Durable {
+			snaps[id] = g.Procs[id].Snapshot()
+		}
+	})
+	g.Net.OnRestart(func(id int) {
+		stats.Restarts++
+		p := g.Procs[id]
+		if plan.Durable {
+			if s := snaps[id]; s != nil {
+				p.Restore(s)
+				stats.DurableRestores++
+			}
+		} else {
+			p.Reset()
+			stats.AmnesiaResets++
+		}
+		g.catchUp(sim, p, plan, stats, 0, plan.RetryAfter, p.tree.Len())
+	})
+	return stats
+}
+
+// catchUp solicits peer inventories for a restarted replica and checks
+// progress after a backoff, re-soliciting (with the backoff doubled) up
+// to plan.MaxRetries times. Catch-up ends when the replica has no
+// orphans left and made progress since the last solicit, or when the
+// retries are exhausted; the blocks gained since restart are then added
+// to stats.ResyncBlocks.
+func (g *Group) catchUp(sim *simnet.Sim, p *Process, plan CrashPlan, stats *RecoveryStats, attempt int, backoff int64, lenAtRestart int) {
+	if p.Down() {
+		return // crashed again before this attempt; the next restart re-enters
+	}
+	stats.Solicits++
+	if attempt > 0 {
+		stats.Retries++
+	}
+	lenAtSolicit := p.tree.Len()
+	p.nw.Broadcast(p.ID, syncMsg{})
+	sim.Schedule(backoff, func() {
+		if p.Down() {
+			return
+		}
+		progressed := p.tree.Len() > lenAtSolicit && p.PendingCount() == 0
+		if progressed || attempt+1 >= plan.MaxRetries {
+			stats.ResyncBlocks += p.tree.Len() - lenAtRestart
+			return
+		}
+		g.catchUp(sim, p, plan, stats, attempt+1, backoff*2, lenAtRestart)
+	})
+}

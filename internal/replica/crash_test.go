@@ -1,0 +1,256 @@
+package replica
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// treeDump flattens a tree to a canonical string for equality checks.
+func treeDump(t *core.Tree) string {
+	var b strings.Builder
+	for _, blk := range t.Blocks() {
+		fmt.Fprintf(&b, "%s<-%s;", blk.ID.Short(), blk.Parent.Short())
+	}
+	return b.String()
+}
+
+// snapshotDump renders a snapshot's pending buffer for equality checks.
+func pendingDump(p *Process) string {
+	var b strings.Builder
+	for _, blk := range p.Snapshot().Pending {
+		fmt.Fprintf(&b, "%s<-%s;", blk.ID.Short(), blk.Parent.Short())
+	}
+	return b.String()
+}
+
+// crashRig builds a 3-proc group where proc 0 appends a block every 5
+// ticks for `rounds` rounds, proc 2 crashes during [30, 60), and crash
+// recovery runs with the given durability.
+func crashRig(t *testing.T, durable bool, rounds int) (*simnet.Sim, *Group, map[string]string) {
+	t.Helper()
+	sim := simnet.NewSim(11)
+	g := NewGroup(sim, 3, simnet.Synchronous{Delta: 2}, core.LongestChain{})
+	g.SetPredicate(core.WellFormed{})
+	g.Net.RecordFaults(true)
+	g.Net.SetSchedule(&simnet.Schedule{Crashes: []simnet.CrashWindow{simnet.Crash(2, 30, 60)}})
+	g.EnableCrashRecovery(sim, CrashPlan{Durable: durable})
+
+	parent := core.Genesis()
+	for i := 0; i < rounds; i++ {
+		b := mkBlock(parent, 0, i)
+		parent = b
+		sim.Schedule(int64(i*5+1), func() { g.Procs[0].AppendLocal(b) })
+	}
+
+	// Probes around the crash boundaries, registered after
+	// EnableCrashRecovery so they observe the post-snapshot /
+	// post-restore state.
+	probes := map[string]string{}
+	g.Net.OnCrash(func(p int) { probes["atCrash"] = treeDump(g.Procs[p].Tree()) })
+	g.Net.OnRestart(func(p int) { probes["atRestart"] = treeDump(g.Procs[p].Tree()) })
+	return sim, g, probes
+}
+
+func TestDurableRestoreEqualsPreCrashTree(t *testing.T) {
+	sim, g, probes := crashRig(t, true, 16)
+	sim.RunUntilIdle()
+
+	if probes["atCrash"] == "" || probes["atRestart"] == "" {
+		t.Fatal("crash/restart probes did not fire")
+	}
+	if probes["atRestart"] != probes["atCrash"] {
+		t.Fatalf("durable restore differs from pre-crash tree:\npre:  %s\npost: %s",
+			probes["atCrash"], probes["atRestart"])
+	}
+	// Catch-up must still converge the replica with the rest.
+	if got, want := treeDump(g.Procs[2].Tree()), treeDump(g.Procs[0].Tree()); got != want {
+		t.Fatalf("recovered replica did not converge:\np0: %s\np2: %s", want, got)
+	}
+	st := g.Recovery
+	if st.Crashes != 1 || st.Restarts != 1 || st.DurableRestores != 1 || st.AmnesiaResets != 0 {
+		t.Fatalf("recovery stats %+v, want one durable crash/restart", st)
+	}
+}
+
+func TestAmnesiaRejoinsFromGenesisAndResyncs(t *testing.T) {
+	sim, g, probes := crashRig(t, false, 16)
+	sim.RunUntilIdle()
+
+	// Amnesia restart begins from a bare genesis tree.
+	if want := treeDump(core.NewTree()); probes["atRestart"] != want {
+		t.Fatalf("amnesia restart tree = %s, want bare genesis", probes["atRestart"])
+	}
+	if got, want := treeDump(g.Procs[2].Tree()), treeDump(g.Procs[0].Tree()); got != want {
+		t.Fatalf("amnesia replica did not resync:\np0: %s\np2: %s", want, got)
+	}
+	st := g.Recovery
+	if st.AmnesiaResets != 1 || st.DurableRestores != 0 {
+		t.Fatalf("recovery stats %+v, want one amnesia reset", st)
+	}
+}
+
+func TestDurableResyncCheaperThanAmnesia(t *testing.T) {
+	simD, gD, _ := crashRig(t, true, 16)
+	simD.RunUntilIdle()
+	simA, gA, _ := crashRig(t, false, 16)
+	simA.RunUntilIdle()
+	if gA.Recovery.ResyncBlocks <= gD.Recovery.ResyncBlocks {
+		t.Fatalf("amnesia resynced %d blocks, durable %d — amnesia should cost strictly more",
+			gA.Recovery.ResyncBlocks, gD.Recovery.ResyncBlocks)
+	}
+}
+
+func TestCrashStopReplicaStaysDown(t *testing.T) {
+	sim := simnet.NewSim(7)
+	g := NewGroup(sim, 3, simnet.Synchronous{Delta: 2}, core.LongestChain{})
+	g.Net.SetSchedule(&simnet.Schedule{Crashes: []simnet.CrashWindow{simnet.CrashStop(1, 20)}})
+	g.EnableCrashRecovery(sim, CrashPlan{Durable: true})
+
+	parent := core.Genesis()
+	for i := 0; i < 10; i++ {
+		b := mkBlock(parent, 0, i)
+		parent = b
+		sim.Schedule(int64(i*5+1), func() { g.Procs[0].AppendLocal(b) })
+	}
+	sim.Run(200)
+
+	if g.Recovery.Restarts != 0 {
+		t.Fatalf("crash-stop fired %d restarts", g.Recovery.Restarts)
+	}
+	if !g.Procs[1].Down() {
+		t.Fatal("crash-stopped replica reports up")
+	}
+	if g.Procs[1].Read() != nil {
+		t.Fatal("crash-stopped replica served a read")
+	}
+	if g.Procs[1].AppendLocal(mkBlock(parent, 1, 99)) {
+		t.Fatal("crash-stopped replica accepted an append")
+	}
+	// Its tree froze at the crash: only blocks delivered before t=20.
+	if got, all := g.Procs[1].Tree().Len(), g.Procs[0].Tree().Len(); got >= all {
+		t.Fatalf("crash-stopped tree has %d blocks, all %d — should have missed the tail", got, all)
+	}
+}
+
+// TestCatchUpRetriesWhenInventoryLost drops every inv reply to the
+// recovering process until well past the first backoff: the first
+// solicit goes unanswered and the bounded retry must re-solicit and
+// eventually converge.
+func TestCatchUpRetriesWhenInventoryLost(t *testing.T) {
+	sim := simnet.NewSim(3)
+	g := NewGroup(sim, 3, simnet.Synchronous{Delta: 2}, core.LongestChain{})
+	g.SetPredicate(core.WellFormed{})
+	g.Net.SetSchedule(&simnet.Schedule{Crashes: []simnet.CrashWindow{simnet.Crash(2, 10, 40)}})
+	// Drop inv replies to p2 until t=50 (past restart at 40 and the
+	// first backoff window), so the initial solicit is wasted.
+	g.Net.SetDrop(func(m simnet.Message) bool {
+		if _, ok := m.Payload.(invMsg); !ok {
+			return false
+		}
+		return m.To == 2 && sim.Now() < 50
+	})
+	g.EnableCrashRecovery(sim, CrashPlan{Durable: false, RetryAfter: 8, MaxRetries: 4})
+
+	parent := core.Genesis()
+	for i := 0; i < 6; i++ {
+		b := mkBlock(parent, 0, i)
+		parent = b
+		sim.Schedule(int64(i*4+1), func() { g.Procs[0].AppendLocal(b) })
+	}
+	sim.RunUntilIdle()
+
+	if g.Recovery.Retries == 0 {
+		t.Fatalf("no retries recorded (stats %+v) though the first solicit was unanswered", g.Recovery)
+	}
+	if got, want := treeDump(g.Procs[2].Tree()), treeDump(g.Procs[0].Tree()); got != want {
+		t.Fatalf("retrying catch-up did not converge:\np0: %s\np2: %s", want, got)
+	}
+}
+
+// TestSnapshotRoundTripsPending crashes a process while an orphan sits
+// in its pending buffer; the durable restore must bring the orphan back
+// so the parent's later arrival flushes it.
+func TestSnapshotRoundTripsPending(t *testing.T) {
+	sim := simnet.NewSim(5)
+	g := NewGroup(sim, 2, simnet.Synchronous{Delta: 1}, core.LongestChain{})
+	p := g.Procs[0]
+
+	b1 := mkBlock(core.Genesis(), 1, 0)
+	b2 := mkBlock(b1, 1, 1)
+	// Deliver the child before the parent: b2 is buffered.
+	p.applyUpdate(b2, false)
+	if p.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", p.PendingCount())
+	}
+	before := pendingDump(p)
+
+	snap := p.Snapshot()
+	p.Reset()
+	if p.PendingCount() != 0 {
+		t.Fatal("reset kept pending blocks")
+	}
+	p.Restore(snap)
+	if got := pendingDump(p); got != before {
+		t.Fatalf("pending buffer after restore = %q, want %q", got, before)
+	}
+	// Parent arrives: the restored orphan must flush.
+	p.applyUpdate(b1, false)
+	if !p.Tree().Has(b2.ID) || p.PendingCount() != 0 {
+		t.Fatalf("orphan did not flush after restore: has=%v pending=%d", p.Tree().Has(b2.ID), p.PendingCount())
+	}
+}
+
+// FuzzDurableRestore drives a random append/crash schedule and asserts
+// the satellite invariant: at every restart of a durable replica, the
+// restored tree is byte-identical to the tree at the matching crash.
+func FuzzDurableRestore(f *testing.F) {
+	f.Add(uint64(1), int64(20), int64(50), uint8(10))
+	f.Add(uint64(9), int64(0), int64(35), uint8(25))
+	f.Add(uint64(42), int64(60), int64(61), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, start, end int64, nblocks uint8) {
+		if start < 0 {
+			start = -start
+		}
+		start %= 90
+		if end < 0 {
+			end = -end
+		}
+		end = start + 1 + end%90
+
+		sim := simnet.NewSim(seed)
+		g := NewGroup(sim, 3, simnet.Synchronous{Delta: 2}, core.LongestChain{})
+		g.SetPredicate(core.WellFormed{})
+		g.Net.SetSchedule(&simnet.Schedule{Crashes: []simnet.CrashWindow{simnet.Crash(2, start, end)}})
+		g.EnableCrashRecovery(sim, CrashPlan{Durable: true})
+
+		var atCrash, atRestart string
+		g.Net.OnCrash(func(p int) { atCrash = treeDump(g.Procs[p].Tree()) + "|" + pendingDump(g.Procs[p]) })
+		g.Net.OnRestart(func(p int) { atRestart = treeDump(g.Procs[p].Tree()) + "|" + pendingDump(g.Procs[p]) })
+
+		rng := sim.RNG().Split()
+		parent := core.Genesis()
+		n := int(nblocks%30) + 1
+		for i := 0; i < n; i++ {
+			creator := rng.Intn(2) // procs 0 and 1 mine; 2 is the crasher
+			b := mkBlock(parent, creator, i)
+			if rng.Intn(3) > 0 {
+				parent = b // sometimes fork instead of extending
+			}
+			at := int64(rng.Intn(100))
+			proc := g.Procs[creator]
+			sim.At(at, func() { proc.AppendLocal(b) })
+		}
+		sim.RunUntilIdle()
+
+		if atCrash == "" {
+			t.Fatal("crash probe did not fire")
+		}
+		if atRestart != atCrash {
+			t.Fatalf("durable restore differs from pre-crash state:\npre:  %s\npost: %s", atCrash, atRestart)
+		}
+	})
+}

@@ -89,6 +89,11 @@ type Process struct {
 	// (protocol layers hook their bookkeeping here).
 	OnCommit func(b *core.Block)
 
+	// aeInstalled marks the anti-entropy handler as registered, so
+	// EnableAntiEntropy and EnableCrashRecovery can both install it
+	// without double-processing inventories.
+	aeInstalled bool
+
 	// Mute, when true, suppresses the send half of AppendLocal: the
 	// block is applied and recorded locally (update event, append op)
 	// but never flooded — the withholding primitive adversarial
@@ -130,6 +135,9 @@ func (p *Process) Tree() *core.Tree { return p.tree }
 // The recorded op materializes its chain lazily (op.Chain()) from the
 // recorder's shared chain table when a checker or renderer asks.
 func (p *Process) Read() *history.Op {
+	if p.Down() {
+		return nil // a crashed process performs no operations
+	}
 	op := p.Rec.InvokeRead(p.ID)
 	head := core.HeadOf(p.F, p.tree)
 	p.Rec.RespondReadHead(op, head)
@@ -149,6 +157,9 @@ func (p *Process) SelectedHead() *core.Block {
 // The block must already be validated (token stamped by the oracle or
 // committed by consensus).
 func (p *Process) AppendLocal(b *core.Block) bool {
+	if p.Down() {
+		return false // a crashed process mines and appends nothing
+	}
 	op := p.Rec.InvokeAppend(p.ID, b)
 	ok := p.applyUpdate(b, true)
 	p.Rec.RespondAppend(op, ok, b)
@@ -167,7 +178,7 @@ func (p *Process) AppendLocal(b *core.Block) bool {
 // block must already be in the local replica; publishing an unknown
 // block is a no-op so strategies cannot desynchronize the R1 invariant.
 func (p *Process) Publish(b *core.Block) bool {
-	if b == nil || !p.tree.Has(b.ID) {
+	if b == nil || !p.tree.Has(b.ID) || p.Down() {
 		return false
 	}
 	p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
@@ -313,6 +324,10 @@ type Group struct {
 	Rec   *history.Recorder
 	Reg   *Registry
 	Net   *simnet.Network
+
+	// Recovery holds the crash–recovery counters once
+	// EnableCrashRecovery has been called (nil otherwise).
+	Recovery *RecoveryStats
 }
 
 // NewGroup builds n replicas over sim with the given delay model and

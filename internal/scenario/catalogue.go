@@ -99,6 +99,40 @@ func Catalogue() []Spec {
 			Note: "churn as heal-flushed eclipses: processes drop out and rejoin — EC must survive",
 		},
 		{
+			Name: "bitcoin/crashstop", System: "bitcoin",
+			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 6,
+			Crashes:      []btsim.Crash{{Proc: 2, Start: 150, End: btsim.NoHeal}},
+			Durable:      true,
+			ExpectBroken: []string{"StrongPrefix"},
+			Note:         "one replica crash-stops mid-run: survivors keep EC, the dead tree just freezes",
+		},
+		{
+			Name: "bitcoin/crash-durable", System: "bitcoin",
+			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 6,
+			Crashes: []btsim.Crash{
+				{Proc: 1, Start: 40, End: 90},
+				{Proc: 3, Start: 120, End: 170},
+				{Proc: 0, Start: 200, End: 250},
+			},
+			Durable:      true,
+			ExpectBroken: []string{"StrongPrefix"},
+			Note:         "crash churn with snapshot/restore: restarts resume from the saved tree — EC holds",
+		},
+		{
+			Name: "bitcoin/crash-amnesia", System: "bitcoin",
+			N: 4, Rounds: 300, Seed: 42, ReadEvery: 6, Difficulty: 6,
+			// The exact crash windows of crash-durable — only Durable
+			// differs, so the pair isolates what durability buys.
+			Crashes: []btsim.Crash{
+				{Proc: 1, Start: 40, End: 90},
+				{Proc: 3, Start: 120, End: 170},
+				{Proc: 0, Start: 200, End: 250},
+			},
+			Durable:      false,
+			ExpectBroken: []string{"StrongPrefix", "LocalMonotonicRead"},
+			Note:         "same churn, rejoin from genesis: post-restart reads jump backwards — LMR dies",
+		},
+		{
 			Name: "ethereum/forkflood", System: "ethereum",
 			N: 4, Rounds: 120, Seed: 42, ReadEvery: 4, Difficulty: 4,
 			Merits:       advMerits,

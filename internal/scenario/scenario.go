@@ -60,9 +60,21 @@ type Spec struct {
 	// modeled as temporary eclipse windows: a process leaving and
 	// rejoining is exactly a cut that heals (deferred updates flush).
 	Faults []FaultSpec
+	// Crashes are the process-level crash–recovery windows (End ==
+	// btsim.NoHeal is a crash-stop); Durable picks snapshot/restore
+	// recovery over amnesia rejoin-from-genesis.
+	Crashes []btsim.Crash
+	Durable bool
 	// CheckK, when > 0, additionally checks k-Fork Coherence with this
 	// bound (set it to the frugal oracle's k).
 	CheckK int
+	// CheckpointEvery, when > 0, checkpoint-cycles the online monitor
+	// every that many consumed operations during RunStream (Run ignores
+	// it): the monitor's bounded state is serialized and a fresh
+	// monitor restored from the bytes mid-run. The cycles are specified
+	// to be invisible — the stream_test pins byte-identical outcomes
+	// across the whole catalogue.
+	CheckpointEvery int
 	// ExpectBroken names the properties the paper predicts this
 	// scenario must break (empty for benign baselines). cmd/scenarios
 	// -check and the tests fail when a predicted break goes unmeasured.
@@ -122,6 +134,8 @@ func (s Spec) options(seed uint64) []btsim.Option {
 		btsim.WithDifficulty(s.Difficulty),
 		btsim.WithMerits(s.Merits...),
 		btsim.WithFaults(s.Faults...),
+		btsim.WithCrashes(s.Crashes...),
+		btsim.WithDurability(s.Durable),
 		btsim.WithAdversary(s.Adversary),
 		btsim.WithFaultLog(true),
 	}
@@ -168,6 +182,9 @@ func (s Spec) run(seed uint64, stream bool) (*Outcome, error) {
 		opts = append(opts, btsim.WithMonitor(nil))
 		if s.CheckK > 0 {
 			opts = append(opts, btsim.WithMonitorK(s.CheckK))
+		}
+		if s.CheckpointEvery > 0 {
+			opts = append(opts, btsim.WithMonitorCheckpoint(s.CheckpointEvery))
 		}
 	}
 	res, err := sys.Run(btsim.NewConfig(opts...))
@@ -272,7 +289,17 @@ func Sweep(spec Spec, seeds []uint64, workers int) ([]*Outcome, error) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
-				out[j.i], errs[j.i] = spec.Run(j.seed)
+				func() {
+					// One panicking seed (a diverging run, a checker
+					// bug) must not take down the whole grid: recover
+					// it into that seed's error slot.
+					defer func() {
+						if r := recover(); r != nil {
+							out[j.i], errs[j.i] = nil, fmt.Errorf("scenario %q seed %d: panic: %v", spec.Name, j.seed, r)
+						}
+					}()
+					out[j.i], errs[j.i] = spec.Run(j.seed)
+				}()
 			}
 			done <- struct{}{}
 		}()

@@ -67,6 +67,42 @@ func TestStreamingMatchesBatchCatalogue(t *testing.T) {
 	}
 }
 
+// TestCheckpointedStreamingMatchesBatchCatalogue is the restart-safety
+// acceptance diff: every pinned scenario re-run with the online monitor
+// checkpoint-cycled every 64 operations (serialize → restore →
+// continue) must still produce the byte-identical outcome — digest,
+// verdicts, violations, witnesses — proving a crashed-and-recovered
+// monitor is indistinguishable from one that never went down.
+func TestCheckpointedStreamingMatchesBatchCatalogue(t *testing.T) {
+	for _, spec := range Catalogue() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			batch, err := spec.Run(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.CheckpointEvery = 64
+			stream, err := spec.RunStream(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			so := stream.Res.Stream
+			if so.CheckpointErr != nil {
+				t.Fatalf("checkpoint cycle failed: %v", so.CheckpointErr)
+			}
+			if so.Checkpoints == 0 {
+				t.Fatalf("run consumed %d ops but never cycled the monitor", so.Ops)
+			}
+			want, got := outcomeText(batch), outcomeText(stream)
+			if got != want {
+				t.Errorf("checkpointed streaming outcome differs from batch (%d cycles):\n--- batch ---\n%s--- checkpointed ---\n%s",
+					so.Checkpoints, want, got)
+			}
+		})
+	}
+}
+
 // TestLongRunStreamingSmoke runs the scaled-down long-run scenario —
 // the same streaming/drop-mode shape CI exercises under -race — and
 // checks the bounded-memory bookkeeping is alive.

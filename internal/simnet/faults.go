@@ -92,12 +92,16 @@ func GSTShiftWindow(gst int64, n int, left []int) Window {
 }
 
 // Schedule is a deterministic fault schedule: a set of partition windows
-// applied to a network. Message semantics follow real partitions rather
-// than silent loss: a message crossing an active cut is *deferred* to the
-// earliest time at which no window separates its endpoints (the heal
-// flush), and dropped only when no such time exists (a NoHeal window).
+// and crash windows applied to a network. Message semantics follow real
+// partitions rather than silent loss: a message crossing an active cut
+// is *deferred* to the earliest time at which no window separates its
+// endpoints (the heal flush), and dropped only when no such time exists
+// (a NoHeal window). Crash windows (crash.go) lose messages instead:
+// deliveries to a down process are dropped, and the process recovers by
+// resynchronizing, not by a queue flush.
 type Schedule struct {
 	Windows []Window
+	Crashes []CrashWindow
 }
 
 // NewSchedule builds a schedule from windows.
@@ -159,6 +163,9 @@ func (s *Schedule) Cut(t int64, from, to int) bool {
 //	"drop"     — a message was lost to the drop rule
 //	"withhold" — an adversary withheld a block (recorded via NoteFault)
 //	"release"  — an adversary released withheld blocks (NoteFault)
+//	"crash"    — a process went down (From/To are -1, Detail "pN")
+//	"restart"  — a crashed process recovered (From/To are -1)
+//	"crashloss"— a message was lost because its endpoint was down
 type FaultEvent struct {
 	Time     int64
 	Kind     string
@@ -178,19 +185,27 @@ func (e FaultEvent) String() string {
 }
 
 // SetSchedule installs a fault schedule on the network (nil removes it).
-// When fault recording is on, the schedule's cut/heal boundaries are
-// logged immediately so renderers can draw the partition spans.
+// When fault recording is on, the schedule's cut/heal and crash/restart
+// boundaries are logged immediately so renderers can draw the spans.
+// Crash windows additionally arm the deterministic crash/restart hook
+// firings (crash.go); schedules without crash windows leave the event
+// queue untouched.
 func (nw *Network) SetSchedule(s *Schedule) {
 	nw.sched = s
-	if s == nil || !nw.logFaults {
+	if s == nil {
 		return
 	}
-	for i := range s.Windows {
-		w := &s.Windows[i]
-		nw.faultLog = append(nw.faultLog, FaultEvent{Time: w.Start, Kind: "cut", From: -1, To: -1, Detail: w.sides()})
-		if w.End != NoHeal {
-			nw.faultLog = append(nw.faultLog, FaultEvent{Time: w.End, Kind: "heal", From: -1, To: -1, Detail: w.sides()})
+	if nw.logFaults {
+		for i := range s.Windows {
+			w := &s.Windows[i]
+			nw.faultLog = append(nw.faultLog, FaultEvent{Time: w.Start, Kind: "cut", From: -1, To: -1, Detail: w.sides()})
+			if w.End != NoHeal {
+				nw.faultLog = append(nw.faultLog, FaultEvent{Time: w.End, Kind: "heal", From: -1, To: -1, Detail: w.sides()})
+			}
 		}
+	}
+	if len(s.Crashes) > 0 {
+		nw.armCrashes(s)
 	}
 }
 

@@ -76,6 +76,12 @@ type Network struct {
 	faultLog  []FaultEvent
 	logFaults bool
 
+	// onCrash/onRestart run when a crash window opens or closes
+	// (crash.go); the replica layer hooks durable snapshot/restore and
+	// catch-up here.
+	onCrash   []func(p int)
+	onRestart []func(p int)
+
 	sent, delivered, dropped int
 }
 
@@ -132,6 +138,15 @@ func (nw *Network) Send(from, to int, payload any) {
 	}
 	m := Message{From: from, To: to, Payload: payload}
 	nw.sent++
+	if nw.sched.DownAt(nw.sim.Now(), from) {
+		// A crashed process sends nothing. Timers are suppressed at the
+		// harness layer, so this is defense in depth for late callbacks.
+		nw.dropped++
+		if nw.logFaults {
+			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "crashloss", From: from, To: to})
+		}
+		return
+	}
 	if from != to && nw.drop(m) {
 		nw.dropped++
 		if nw.logFaults {
@@ -195,8 +210,17 @@ func (nw *Network) Send(from, to int, payload any) {
 }
 
 // deliver runs the delivery of m at its destination (called by the
-// scheduler when the corresponding event fires).
+// scheduler when the corresponding event fires). A message reaching a
+// crashed process is lost — unlike a partition, a crash does not defer:
+// the process must resynchronize after recovery.
 func (nw *Network) deliver(m Message) {
+	if nw.sched.DownAt(nw.sim.Now(), m.To) {
+		nw.dropped++
+		if nw.logFaults {
+			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "crashloss", From: m.From, To: m.To})
+		}
+		return
+	}
 	nw.delivered++
 	for _, h := range nw.handlers[m.To] {
 		h(m)
