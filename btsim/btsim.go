@@ -17,6 +17,10 @@
 //   - Run options are functional: WithN, WithRounds, WithSeed,
 //     WithDelta, WithDifficulty, WithMerits, WithFaults, WithAdversary,
 //     WithObserver and friends replace the per-protocol config structs.
+//     WithMonitor/WithStreaming attach the online consistency monitor
+//     (live witnesses, bounded-memory runs); WithShards moves the
+//     simulation onto the sharded deterministic scheduler — a pure
+//     wall-clock knob, specified to leave every digest byte-identical.
 //   - Result carries the recorded history, the per-process replica
 //     trees and the fault/adversary event log, plus checker access
 //     (Check, KFork, UpdateAgreement) and a replay Digest: identical

@@ -208,6 +208,12 @@ type Config struct {
 	// StreamSegment is the streaming segment size in operations
 	// (0 means history.DefaultSegmentSize).
 	StreamSegment int
+	// Shards runs the simulation on a sharded deterministic scheduler
+	// with that many worker shards; 0 or 1 is the serial scheduler.
+	// Sharding is purely a wall-clock knob: any shard count is
+	// specified to produce byte-identical histories, fault logs and
+	// digests. See WithShards.
+	Shards int
 
 	// system is stamped by System.Run before the adapter sees the
 	// Config, so Base can label Progress events.
@@ -346,6 +352,20 @@ func WithStreaming(segment int) Option {
 	}
 }
 
+// WithShards runs the simulation on a sharded deterministic scheduler:
+// the event heap is partitioned across k worker shards by replica
+// group, independent same-timestamp deliveries are processed
+// concurrently, and every order-sensitive effect (message sends, RNG
+// delay draws, history recording, fault-log appends) is staged and
+// committed at a merge barrier in exactly the serial execution order.
+// The result — history, digest, fault log, verdicts — is specified to
+// be byte-identical for every k, so sharding is purely a wall-clock
+// knob; the catalogue-wide digest-diff test pins it. k ≤ 1 (the
+// default) is the plain serial scheduler. Consensus-style systems
+// whose handlers are not shard-safe run serially regardless — still
+// correct, just not accelerated.
+func WithShards(k int) Option { return func(c *Config) { c.Shards = k } }
+
 // validate rejects configurations no system can run.
 func (c Config) validate() error {
 	if c.N < 0 {
@@ -392,6 +412,9 @@ func (c Config) validate() error {
 	if c.OnWitness != nil && !c.Monitor {
 		return fmt.Errorf("OnWitness requires the monitor (use WithMonitor)")
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("negative Shards %d", c.Shards)
+	}
 	return nil
 }
 
@@ -406,6 +429,7 @@ func (c Config) Base() protocols.Config {
 		ReadEvery:    c.ReadEvery,
 		RecordFaults: c.FaultLog,
 		Durable:      c.Durable,
+		Shards:       c.Shards,
 		Adversary: adversary.Config{
 			Strategy:     adversary.Strategy(c.Adversary.Strategy),
 			Proc:         c.Adversary.Proc,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-dir .] [-count 1] [-filter substring] [-label note] [-compare]
+//	go run ./cmd/bench [-dir .] [-out name.json] [-count 1] [-filter substring] [-label note] [-compare]
 //
 // Besides wall time and cumulative allocations, every entry records its
 // peak live heap (sampled concurrently during the run): the batch and
@@ -44,6 +44,11 @@ type Entry struct {
 	// case ran — the resident-memory high-water mark. Old snapshots
 	// predate the field and read back as 0.
 	PeakBytes int64 `json:"peak_b,omitempty"`
+	// Shards is the scheduler shard count the case ran under (absent or
+	// 1 = the serial scheduler). The name already carries an -s<k>
+	// suffix for sharded cases; the field makes the knob machine-readable
+	// so snapshot consumers don't parse names.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Snapshot is the schema of a BENCH_<date>.json file.
@@ -85,6 +90,7 @@ func samplePeak(stop <-chan struct{}, done *sync.WaitGroup, peak *int64) {
 
 func main() {
 	dir := flag.String("dir", ".", "directory for BENCH_<date>.json snapshots")
+	outName := flag.String("out", "", "snapshot file name (default BENCH_<date>.json); relative to -dir")
 	count := flag.Int("count", 1, "benchmark iterations per case (benchtime <count>x)")
 	filter := flag.String("filter", "", "run only cases whose name contains this substring")
 	label := flag.String("label", "", "free-form note stored in the snapshot")
@@ -129,6 +135,7 @@ func main() {
 			BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
 			AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
 			PeakBytes:   peak,
+			Shards:      c.Shards,
 		}
 		snap.Entries = append(snap.Entries, e)
 		fmt.Printf("%-32s %14.0f ns/op %12d B/op %10d allocs/op %10s peak\n",
@@ -139,7 +146,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	out := filepath.Join(*dir, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	name := *outName
+	if name == "" {
+		name = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	out := filepath.Join(*dir, name)
 	prev, prevName := latestSnapshot(*dir, out)
 	data, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
@@ -165,7 +176,9 @@ func main() {
 	for _, e := range prev.Entries {
 		byName[e.Name] = e
 	}
+	current := make(map[string]bool, len(snap.Entries))
 	for _, e := range snap.Entries {
+		current[e.Name] = true
 		p, ok := byName[e.Name]
 		if !ok {
 			fmt.Printf("%-32s (new)\n", e.Name)
@@ -177,6 +190,14 @@ func main() {
 			line += fmt.Sprintf("   peak %+7.1f%%", delta(float64(e.PeakBytes), float64(p.PeakBytes)))
 		}
 		fmt.Println(line)
+	}
+	// Entries present only in the previous snapshot were formerly
+	// dropped without a trace, making a shrinking suite look like a
+	// clean comparison. Report them in the previous snapshot's order.
+	for _, p := range prev.Entries {
+		if !current[p.Name] {
+			fmt.Printf("%-32s (removed; was %s)\n", p.Name, dur(p.NsPerOp))
+		}
 	}
 }
 

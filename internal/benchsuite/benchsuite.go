@@ -8,8 +8,10 @@
 // one mined block per tick flooded to every replica, periodic read()
 // batches at every process, and a full consistency Classify over the
 // recorded history. It is the workload behind DESIGN.md ablations #6
-// (closure-heap vs. flat-heap scheduler) and #7 (copied vs. interned
-// chain reads).
+// (closure-heap vs. flat-heap scheduler), #7 (copied vs. interned
+// chain reads) and #12 (single-heap vs. sharded scheduler: the -s<k>
+// cases run the identical workload — digest-pinned — on the sharded
+// engine; see SCALING.md).
 package benchsuite
 
 import (
@@ -36,6 +38,11 @@ type ScaleConfig struct {
 	ReadEvery int64
 	// Seed drives the delivery-delay randomness.
 	Seed uint64
+	// Shards runs the workload on the sharded deterministic scheduler
+	// (0 or 1 = serial). Stats are shard-count-independent by the
+	// determinism spec; the -s<k> suite entries and the CI smoke pin
+	// that at scale.
+	Shards int
 }
 
 // ScaleStats summarizes one SimScale run (used by sanity checks and the
@@ -67,6 +74,9 @@ func benignGroup(cfg ScaleConfig) (*simnet.Sim, *replica.Group) {
 	g := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: 3}, core.LongestChain{})
 	g.Net.SetFIFO(true)
 	g.SetPredicate(core.WellFormed{})
+	if cfg.Shards > 1 {
+		g.EnableSharding(cfg.Shards)
+	}
 	return sim, g
 }
 
@@ -202,6 +212,9 @@ type Case struct {
 	Name  string
 	Run   func() error
 	Bench func(b *testing.B)
+	// Shards is the scheduler shard count the case runs under (0 or 1 =
+	// serial); cmd/bench stamps it into the BENCH_<date>.json entries.
+	Shards int
 }
 
 // scaleCase wraps one SimScale config as a benchmark case. A lossless
@@ -210,6 +223,9 @@ type Case struct {
 // check at scale.
 func scaleCase(cfg ScaleConfig) Case {
 	name := fmt.Sprintf("SimScale/N%d-b%d", cfg.N, cfg.Blocks)
+	if cfg.Shards > 1 {
+		name += fmt.Sprintf("-s%d", cfg.Shards)
+	}
 	run := func() error {
 		st := RunSimScale(cfg)
 		if !st.ECOK {
@@ -220,7 +236,7 @@ func scaleCase(cfg ScaleConfig) Case {
 		}
 		return nil
 	}
-	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := run(); err != nil {
@@ -237,6 +253,9 @@ func scaleCase(cfg ScaleConfig) Case {
 // post-convergence reads keep EC intact.
 func scaleAdvCase(cfg ScaleConfig) Case {
 	name := fmt.Sprintf("SimScale/N%d-b%d-adv", cfg.N, cfg.Blocks)
+	if cfg.Shards > 1 {
+		name += fmt.Sprintf("-s%d", cfg.Shards)
+	}
 	run := func() error {
 		st := RunSimScaleAdversarial(cfg)
 		if st.SCOK {
@@ -250,7 +269,7 @@ func scaleAdvCase(cfg ScaleConfig) Case {
 		}
 		return nil
 	}
-	return Case{Name: name, Run: run, Bench: func(b *testing.B) {
+	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := run(); err != nil {
@@ -274,8 +293,16 @@ func Cases() []Case {
 		scaleCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleAdvCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42}),
+		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42, Shards: 4}),
 		scaleCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
 		scaleStreamCase(ScaleConfig{N: 64, Blocks: 20_000, Seed: 42}),
+		scaleCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42}),
+		scaleAdvCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42}),
+		scaleCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42, Shards: 4}),
+		scaleCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42}),
+		scaleAdvCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42}),
+		scaleCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42, Shards: 8}),
+		scaleAdvCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42, Shards: 8}),
 		longRunCase(false),
 		longRunCase(true),
 	}

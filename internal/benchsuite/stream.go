@@ -22,8 +22,12 @@ import (
 // RunSimScaleStream executes the benign SimScale workload through the
 // streaming path: a segmented sink feeds the online monitor, the
 // recorder runs in drop mode (no retained history), and the verdicts
-// come from Finalize. For a fixed config its ScaleStats equal
-// RunSimScale's exactly — the determinism suite pins this.
+// come from Finalize. The segment/monitor work runs off the recording
+// hot loop through an AsyncSink — the recorder's critical section ends
+// at the enqueue, and the single consumer goroutine preserves recording
+// order, so the verdicts are identical to synchronous delivery. For a
+// fixed config the ScaleStats equal RunSimScale's exactly — the
+// determinism suite pins this.
 func RunSimScaleStream(cfg ScaleConfig) ScaleStats {
 	cfg.normalize()
 	sim, g := benignGroup(cfg)
@@ -36,11 +40,13 @@ func RunSimScaleStream(cfg ScaleConfig) ScaleStats {
 	})
 	seg := history.NewSegmentSink(0, mon.ConsumeSegment)
 	seg.OnFaulty = mon.Faulty
-	g.Rec.SetSink(seg)
+	async := history.NewAsyncSink(seg, 0)
+	g.Rec.SetSink(async)
 	g.Rec.SetRetain(false)
 
 	runBenignWorkload(sim, g, cfg)
 
+	async.Drain()
 	seg.Seal()
 	for _, op := range g.Rec.PendingOps() {
 		mon.OpPending(op)

@@ -1,0 +1,75 @@
+package history
+
+// AsyncSink decouples sink consumption from the recording hot loop: the
+// Recorder invokes sinks under its lock, so an expensive consumer (a
+// segmenting monitor checking consistency online) stretches every
+// recorded operation's critical section. AsyncSink enqueues each event
+// on a bounded channel and a single consumer goroutine replays them —
+// in recording order, because there is exactly one producer (the
+// recorder's lock serializes producers) and one consumer. The verdicts
+// a downstream monitor produces are therefore identical to synchronous
+// delivery; only the wall-clock interleaving changes.
+//
+// The channel is bounded: a consumer slower than the simulation applies
+// backpressure instead of growing an unbounded queue, preserving the
+// streaming path's bounded-memory property. Call Drain after the run
+// (before reading any downstream state) to flush and stop the consumer.
+type AsyncSink struct {
+	inner Sink
+	ch    chan asyncEvent
+	done  chan struct{}
+}
+
+// asyncEvent is one queued sink invocation (a tagged union, smallest
+// footprint wins: the queue holds up to the buffer size of these).
+type asyncEvent struct {
+	op   *Op
+	comm CommEvent
+	p    int
+	kind uint8 // 0 = OpDone, 1 = CommDone, 2 = Faulty
+}
+
+// DefaultAsyncBuffer is the queue bound used when none is given.
+const DefaultAsyncBuffer = 4096
+
+// NewAsyncSink wraps inner and starts the consumer goroutine. buf ≤ 0
+// means DefaultAsyncBuffer.
+func NewAsyncSink(inner Sink, buf int) *AsyncSink {
+	if buf <= 0 {
+		buf = DefaultAsyncBuffer
+	}
+	s := &AsyncSink{inner: inner, ch: make(chan asyncEvent, buf), done: make(chan struct{})}
+	go s.consume()
+	return s
+}
+
+func (s *AsyncSink) consume() {
+	defer close(s.done)
+	for e := range s.ch {
+		switch e.kind {
+		case 0:
+			s.inner.OpDone(e.op)
+		case 1:
+			s.inner.CommDone(e.comm)
+		default:
+			s.inner.Faulty(e.p)
+		}
+	}
+}
+
+// OpDone implements Sink.
+func (s *AsyncSink) OpDone(op *Op) { s.ch <- asyncEvent{kind: 0, op: op} }
+
+// CommDone implements Sink.
+func (s *AsyncSink) CommDone(e CommEvent) { s.ch <- asyncEvent{kind: 1, comm: e} }
+
+// Faulty implements Sink.
+func (s *AsyncSink) Faulty(p int) { s.ch <- asyncEvent{kind: 2, p: p} }
+
+// Drain flushes the queue and stops the consumer. It must be called
+// exactly once, after recording has stopped and before any downstream
+// state (monitor verdicts, sealed segments) is read.
+func (s *AsyncSink) Drain() {
+	close(s.ch)
+	<-s.done
+}

@@ -1,0 +1,134 @@
+package history
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// orderSink records the exact interleaved event sequence it receives,
+// under a lock so a concurrent consumer goroutine can feed it.
+type orderSink struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (s *orderSink) OpDone(op *Op) {
+	s.mu.Lock()
+	s.events = append(s.events, "op")
+	s.mu.Unlock()
+}
+func (s *orderSink) CommDone(e CommEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, "comm")
+	s.mu.Unlock()
+}
+func (s *orderSink) Faulty(p int) {
+	s.mu.Lock()
+	s.events = append(s.events, "faulty")
+	s.mu.Unlock()
+}
+
+// TestAsyncSinkPreservesOrder pins the AsyncSink contract: the wrapped
+// sink sees the exact event sequence, in recording order, that a
+// synchronous sink would — one producer, one consumer, one queue.
+func TestAsyncSinkPreservesOrder(t *testing.T) {
+	record := func(rec *Recorder) {
+		c := streamChain(rec, 4)
+		rec.MarkFaulty(1)
+		for _, b := range c[1:] {
+			rec.Append(0, b, true)
+			rec.RecordComm(EvSend, 0, b.Parent, b.ID)
+		}
+		rec.ReadHead(0, c.Head())
+	}
+
+	sync1 := &orderSink{}
+	rec := NewRecorder(2, nil)
+	rec.SetSink(sync1)
+	record(rec)
+
+	async := &orderSink{}
+	rec2 := NewRecorder(2, nil)
+	as := NewAsyncSink(async, 8) // small buffer: exercise backpressure
+	rec2.SetSink(as)
+	record(rec2)
+	as.Drain()
+
+	if len(sync1.events) != len(async.events) {
+		t.Fatalf("async sink saw %d events, sync saw %d", len(async.events), len(sync1.events))
+	}
+	for i := range sync1.events {
+		if sync1.events[i] != async.events[i] {
+			t.Fatalf("event %d: async %q != sync %q\nasync: %v\nsync: %v",
+				i, async.events[i], sync1.events[i], async.events, sync1.events)
+		}
+	}
+}
+
+// TestAsyncSinkSegmentedEquivalence runs the segmented builder behind
+// an AsyncSink and checks the assembled history matches the directly
+// sunk one — segment boundaries and op order included.
+func TestAsyncSinkSegmentedEquivalence(t *testing.T) {
+	build := func(wrap func(Sink) (Sink, func())) *History {
+		rec := NewRecorder(1, nil)
+		seg := NewSegmentSink(4, nil)
+		seg.Keep(true)
+		sink, drain := wrap(seg)
+		rec.SetSink(sink)
+		rec.SetRetain(false)
+		c := streamChain(rec, 10)
+		for _, b := range c[1:] {
+			rec.Append(0, b, true)
+		}
+		rec.ReadHead(0, c.Head())
+		drain()
+		seg.Seal()
+		return seg.History(1)
+	}
+
+	direct := build(func(s Sink) (Sink, func()) { return s, func() {} })
+	async := build(func(s Sink) (Sink, func()) {
+		as := NewAsyncSink(s, 0)
+		return as, as.Drain
+	})
+
+	if len(direct.Ops) != len(async.Ops) {
+		t.Fatalf("async history has %d ops, direct %d", len(async.Ops), len(direct.Ops))
+	}
+	for i := range direct.Ops {
+		if direct.Ops[i].ID != async.Ops[i].ID || direct.Ops[i].Kind != async.Ops[i].Kind {
+			t.Fatalf("op %d diverged: async %+v, direct %+v", i, async.Ops[i], direct.Ops[i])
+		}
+	}
+}
+
+// TestRecorderSlabPointerStability pins the pooled-Op allocator
+// contract: *Op pointers handed out (and retained by histories and
+// sinks) stay valid and distinct as the slab grows through many chunk
+// replacements.
+func TestRecorderSlabPointerStability(t *testing.T) {
+	rec := NewRecorder(1, nil)
+	g := core.Genesis()
+	var ptrs []*Op
+	for i := 0; i < 3*opSlabChunk+7; i++ {
+		op := rec.InvokeRead(0)
+		rec.RespondReadHead(op, g)
+		ptrs = append(ptrs, op)
+	}
+	seen := map[*Op]bool{}
+	for i, op := range ptrs {
+		if op.ID != i {
+			t.Fatalf("op %d has ID %d after slab growth — pointer invalidated?", i, op.ID)
+		}
+		if seen[op] {
+			t.Fatalf("op %d shares a pointer with an earlier op", i)
+		}
+		seen[op] = true
+	}
+	h := rec.Snapshot()
+	if len(h.Ops) != len(ptrs) {
+		t.Fatalf("snapshot has %d ops, want %d", len(h.Ops), len(ptrs))
+	}
+}

@@ -31,7 +31,7 @@ import (
 // hashes, the chain from genesis to a given head is unique, so one
 // table serves every replica's reads.
 type ChainTable struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	blocks map[core.BlockID]*core.Block
 	chains map[core.BlockID]core.Chain
 }
@@ -46,9 +46,18 @@ func NewChainTable() *ChainTable {
 }
 
 // Intern registers a block (first writer wins; blocks are immutable and
-// content-addressed, so later copies are identical).
+// content-addressed, so later copies are identical). The read-locked
+// fast path handles the common case — flooding re-interns every block
+// once per replica, so all but the first call find it present — and
+// keeps concurrent shard workers from serializing on the write lock.
 func (t *ChainTable) Intern(b *core.Block) {
 	if b == nil {
+		return
+	}
+	t.mu.RLock()
+	_, ok := t.blocks[b.ID]
+	t.mu.RUnlock()
+	if ok {
 		return
 	}
 	t.mu.Lock()
@@ -117,8 +126,8 @@ func (t *ChainTable) ChainToUncached(head core.BlockID) core.Chain {
 
 // Block returns the interned block with the given ID (nil if unknown).
 func (t *ChainTable) Block(id core.BlockID) *core.Block {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.blocks[id]
 }
 
@@ -479,6 +488,37 @@ type Recorder struct {
 	sink    Sink
 	drop    bool
 	pending map[int]*Op
+
+	// slab is the pooled Op allocator: ops are appended into fixed-
+	// capacity chunks (pointers into a chunk stay valid because a full
+	// chunk is replaced, never regrown), replacing one heap allocation
+	// per operation on the hot path. Drop-mode runs bypass it so
+	// released ops remain individually collectable.
+	slab []Op
+
+	// shardCtx/staged/stagedPos support sharded-scheduler runs: comm
+	// events recorded during a parallel phase are staged per shard and
+	// flushed in global order at the barrier (see shard.go).
+	shardCtx  ShardContext
+	staged    [][]stagedComm
+	stagedPos []int
+}
+
+// opSlabChunk is the pooled Op allocator's chunk capacity.
+const opSlabChunk = 256
+
+// newOp returns a pooled zero Op (callers hold r.mu). In drop mode the
+// pool is bypassed: the slab would pin released ops in memory, and the
+// whole point of drop mode is that completed ops are collectable.
+func (r *Recorder) newOp() *Op {
+	if r.drop {
+		return &Op{}
+	}
+	if len(r.slab) == cap(r.slab) {
+		r.slab = make([]Op, 0, opSlabChunk)
+	}
+	r.slab = append(r.slab, Op{})
+	return &r.slab[len(r.slab)-1]
 }
 
 // NewRecorder creates a recorder for procs processes. clock supplies
@@ -514,7 +554,9 @@ func (r *Recorder) MarkFaulty(p int) {
 func (r *Recorder) InvokeRead(p int) *Op {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op := &Op{ID: r.nextID, Proc: p, Kind: OpRead, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
+	op := r.newOp()
+	op.ID, op.Proc, op.Kind = r.nextID, p, OpRead
+	op.InvIndex, op.InvTime, op.Pending = r.seq, r.clock(), true
 	r.nextID++
 	r.seq++
 	r.opInvoked(op)
@@ -561,7 +603,9 @@ func (r *Recorder) RespondReadHead(op *Op, head *core.Block) {
 func (r *Recorder) InvokeAppend(p int, b *core.Block) *Op {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op := &Op{ID: r.nextID, Proc: p, Kind: OpAppend, Block: b, InvIndex: r.seq, InvTime: r.clock(), Pending: true}
+	op := r.newOp()
+	op.ID, op.Proc, op.Kind, op.Block = r.nextID, p, OpAppend, b
+	op.InvIndex, op.InvTime, op.Pending = r.seq, r.clock(), true
 	r.nextID++
 	r.seq++
 	r.opInvoked(op)
@@ -607,8 +651,21 @@ func (r *Recorder) Append(p int, b *core.Block, ok bool) *Op {
 	return op
 }
 
-// RecordComm records a send/receive/update event.
+// RecordComm records a send/receive/update event. During a sharded
+// parallel phase (SetShardContext installed and the context reports an
+// active phase) the event is staged and committed at the scheduler's
+// barrier in global order; the returned CommEvent then carries no
+// Index/Time yet — the replica layer discards the return value, and no
+// other caller records from a parallel phase.
 func (r *Recorder) RecordComm(kind CommKind, p int, parent, block core.BlockID) CommEvent {
+	if ctx := r.shardCtx; ctx != nil {
+		if sh, tag, ok := ctx(p); ok {
+			// Single writer per shard buffer (the shard's worker), so
+			// staging is lock-free by construction.
+			r.staged[sh] = append(r.staged[sh], stagedComm{tag: tag, kind: kind, proc: p, parent: parent, block: block})
+			return CommEvent{Kind: kind, Proc: p, Parent: parent, Block: block}
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := CommEvent{Kind: kind, Proc: p, Parent: parent, Block: block, Index: r.seq, Time: r.clock()}

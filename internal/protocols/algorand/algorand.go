@@ -64,6 +64,7 @@ func Run(cfg Config) *protocols.Result {
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.LongestChain{})
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
+	cfg.ApplySharding(group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {
 		if a <= 0 {

@@ -61,6 +61,7 @@ func Run(cfg Config) *protocols.Result {
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
+	cfg.ApplySharding(group)
 	group.SetPredicate(core.WellFormed{})
 	// The frugal oracle with k = 1: getToken validates proposals (the
 	// PoW/Sortition/endorsement step of the real systems), the

@@ -50,6 +50,7 @@ func Run(cfg Config) *protocols.Result {
 	group.Net.SetFIFO(true) // reliable FIFO channels (Section 5.1/5.2)
 	cfg.ApplyNet(group.Net)
 	recovery := cfg.ApplyCrashes(sim, group)
+	cfg.ApplySharding(group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
 

@@ -75,6 +75,7 @@ func Run(cfg Config) *protocols.Result {
 	group := replica.NewGroup(sim, cfg.N, simnet.Synchronous{Delta: cfg.Delta}, core.SingleChain{})
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
+	cfg.ApplySharding(group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)
 	tob := consensus.NewTOB(group.Net, 0) // process 0 is the ordering service

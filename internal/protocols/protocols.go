@@ -73,6 +73,12 @@ type Config struct {
 	// one the run's batch classification uses, so a monitor can match
 	// it. Runners invoke it through BindStream.
 	Stream func(rec *history.Recorder, score core.Score)
+	// Shards runs the simulation on a sharded scheduler with that many
+	// worker shards (simnet.EnableSharding). 0 or 1 is the serial
+	// scheduler — today's exact behavior; any value is specified to
+	// produce a byte-identical history and digest, so this is purely a
+	// wall-clock knob. Runners wire it through ApplySharding.
+	Shards int
 
 	// halted latches a false Observer return so every later round is
 	// skipped without consulting the observer again.
@@ -120,6 +126,16 @@ func (c *Config) ApplyNet(nw *simnet.Network) {
 	}
 	if sched != nil {
 		nw.SetSchedule(sched)
+	}
+}
+
+// ApplySharding enables the sharded scheduler on the run's replica
+// group when Config.Shards > 1. Every protocol runner calls it after
+// the group is fully built (all handlers registered) and before the
+// run starts; k ≤ 1 leaves the serial scheduler untouched.
+func (c *Config) ApplySharding(group *replica.Group) {
+	if c.Shards > 1 {
+		group.EnableSharding(c.Shards)
 	}
 }
 

@@ -121,7 +121,12 @@ func NewProcess(id int, nw *simnet.Network, f core.Selector, rec *history.Record
 		pendingHas: make(map[core.BlockID]bool),
 		seen:       make(map[core.BlockID]bool),
 	}
-	nw.AddHandler(id, p.onMessage)
+	// The replica handler upholds the shard-safety contract: onMessage
+	// touches only this process's state (tree, seen/pending maps),
+	// records and sends only as itself, and never schedules — so a
+	// sharded scheduler may run replicas of different shards
+	// concurrently (simnet.AddShardSafeHandler).
+	nw.AddShardSafeHandler(id, p.onMessage)
 	return p
 }
 
@@ -341,6 +346,24 @@ func NewGroup(sim *simnet.Sim, n int, delay simnet.DelayModel, f core.Selector) 
 		g.Procs = append(g.Procs, NewProcess(i, nw, f, rec, reg))
 	}
 	return g
+}
+
+// EnableSharding runs the group's network on a sharded scheduler with
+// k worker shards (k ≤ 1 is a no-op). It wires the three pieces that
+// must agree for sharded runs to stay byte-identical to serial ones:
+// the simnet engine (per-shard heaps, staged sends, merge barrier),
+// the recorder's staged communication events, and the barrier hook
+// flushing them in global order. Call it after the group is built and
+// before the run starts; protocol layers that register order-sensitive
+// handlers (plain AddHandler) remain correct — their processes simply
+// stay on the serial path.
+func (g *Group) EnableSharding(k int) {
+	g.Net.EnableSharding(k)
+	if g.Net.Shards() <= 1 {
+		return
+	}
+	g.Rec.SetShardContext(g.Net.Shards(), g.Net.ShardContext)
+	g.Net.OnBarrier(g.Rec.CommitStagedComms)
 }
 
 // History snapshots the recorded history.

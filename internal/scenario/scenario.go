@@ -75,6 +75,11 @@ type Spec struct {
 	// to be invisible — the stream_test pins byte-identical outcomes
 	// across the whole catalogue.
 	CheckpointEvery int
+	// Shards runs the scenario on the sharded deterministic scheduler
+	// with that many worker shards (0 or 1 = serial). Digests are
+	// specified to be shard-count-independent, so catalogue entries
+	// leave it 0 and the shard digest-diff test overrides it.
+	Shards int
 	// ExpectBroken names the properties the paper predicts this
 	// scenario must break (empty for benign baselines). cmd/scenarios
 	// -check and the tests fail when a predicted break goes unmeasured.
@@ -138,6 +143,7 @@ func (s Spec) options(seed uint64) []btsim.Option {
 		btsim.WithDurability(s.Durable),
 		btsim.WithAdversary(s.Adversary),
 		btsim.WithFaultLog(true),
+		btsim.WithShards(s.Shards),
 	}
 }
 

@@ -64,9 +64,12 @@ type Network struct {
 	// (the "reliable FIFO authenticated channels" of the paper's
 	// Bitcoin/Ethereum mappings): a message never overtakes an earlier
 	// one on the same link. lastOut tracks the latest scheduled
-	// delivery time per link.
+	// delivery time per link, as a flat n×n array indexed from·n+to —
+	// the per-send map lookup was a top profile entry at N ≥ 256, and
+	// the array is written only on the serial path (sends are staged
+	// during parallel phases), so it needs no lock.
 	fifo    bool
-	lastOut map[[2]int]int64
+	lastOut []int64
 
 	// sched, when set, is the deterministic partition/fault schedule:
 	// messages crossing an active cut are deferred to the heal time (or
@@ -81,6 +84,12 @@ type Network struct {
 	// catch-up here.
 	onCrash   []func(p int)
 	onRestart []func(p int)
+
+	// eng is the sharded execution engine when EnableSharding was
+	// called (shard.go); serialOnly[p] pins process p's deliveries to
+	// the serial path because a plain AddHandler was registered for it.
+	eng        *engine
+	serialOnly []bool
 
 	sent, delivered, dropped int
 }
@@ -102,8 +111,15 @@ func (nw *Network) Sim() *Sim { return nw.sim }
 // AddHandler registers a delivery handler for process p. Multiple layers
 // (replica updates, consensus rounds) each register one; every handler
 // sees every delivered message and dispatches on the payload type.
+//
+// A handler registered this way may do anything — touch shared state,
+// schedule timers — so under a sharded scheduler (EnableSharding) all
+// of p's deliveries run on the serial path. Handlers that uphold the
+// shard-safety contract register with AddShardSafeHandler instead and
+// are eligible for concurrent processing.
 func (nw *Network) AddHandler(p int, h Handler) {
 	nw.handlers[p] = append(nw.handlers[p], h)
+	nw.markSerialOnly(p)
 }
 
 // SetDrop installs a drop rule (nil restores DropNone).
@@ -125,14 +141,30 @@ func (nw *Network) SetDropRandom(p float64) {
 func (nw *Network) SetFIFO(on bool) {
 	nw.fifo = on
 	if on && nw.lastOut == nil {
-		nw.lastOut = make(map[[2]int]int64)
+		nw.lastOut = make([]int64, nw.n*nw.n)
 	}
 }
 
 // Send transmits payload from from to to. Loopback (from == to) is
 // delivered with delay 0 — a process always receives its own broadcast,
 // which is how the LRC Validity property is realized.
+//
+// During a sharded parallel phase the send is staged: the engine
+// replays it at the batch barrier in global event order, where the
+// drop decision, delay draw and sequence assignment happen exactly as
+// a serial run would have made them (shard.go).
 func (nw *Network) Send(from, to int, payload any) {
+	if eng := nw.eng; eng != nil && eng.inParallel {
+		st := &eng.stages[eng.shardOf(from)]
+		st.items = append(st.items, stagedItem{tag: st.curTag, kind: stSend, from: from, to: to, payload: payload})
+		return
+	}
+	nw.sendNow(from, to, payload)
+}
+
+// sendNow is the real send path: serial contexts call it directly via
+// Send, and the barrier commit calls it when replaying staged sends.
+func (nw *Network) sendNow(from, to int, payload any) {
 	if to < 0 || to >= nw.n {
 		panic(fmt.Sprintf("simnet: send to unknown process %d", to))
 	}
@@ -169,7 +201,7 @@ func (nw *Network) Send(from, to int, payload any) {
 		// one pass per window.
 		now := nw.sim.Now()
 		at := now + d
-		link := [2]int{from, to}
+		link := from*nw.n + to
 		for {
 			if nw.sched != nil {
 				resolved, ok := nw.sched.DeliveryTime(at, from, to)

@@ -54,15 +54,24 @@ func (e *event) before(o *event) bool {
 	return e.seq < o.seq
 }
 
-// Sim is the discrete-event scheduler. It is single-threaded: callbacks
-// run sequentially in virtual-time order, which makes every run
-// reproducible from its seed.
+// Sim is the discrete-event scheduler. By default it is single-threaded:
+// callbacks run sequentially in virtual-time order, which makes every
+// run reproducible from its seed. A network may enable sharded execution
+// (Network.EnableSharding), which processes independent same-timestamp
+// deliveries on worker goroutines while preserving the exact sequential
+// order of every observable effect (see shard.go).
 type Sim struct {
 	now     int64
 	seq     int64
 	pq      []event // binary min-heap ordered by (time, seq)
 	rng     *tape.RNG
 	stepped int
+
+	// eng, when non-nil, is the sharded execution engine installed by
+	// Network.EnableSharding. The zero state (nil) is the plain serial
+	// scheduler — the default, and the reference semantics the engine
+	// must reproduce byte-for-byte.
+	eng *engine
 }
 
 // NewSim creates a simulator whose randomness derives from seed.
@@ -79,28 +88,32 @@ func (s *Sim) RNG() *tape.RNG { return s.rng }
 // Steps returns how many events have been executed.
 func (s *Sim) Steps() int { return s.stepped }
 
-// push inserts e into the heap (manual sift-up: no interface boxing,
-// no per-event allocation beyond amortized slice growth).
-func (s *Sim) push(e event) {
-	s.pq = append(s.pq, e)
-	i := len(s.pq) - 1
+// heapPush inserts e into a (time, seq)-ordered binary min-heap stored
+// in a plain slice (manual sift-up: no interface boxing, no per-event
+// allocation beyond amortized slice growth). The global queue and the
+// per-shard queues of the sharded engine share these two operations.
+func heapPush(pq *[]event, e event) {
+	h := append(*pq, e)
+	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !s.pq[i].before(&s.pq[parent]) {
+		if !h[i].before(&h[parent]) {
 			break
 		}
-		s.pq[i], s.pq[parent] = s.pq[parent], s.pq[i]
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
+	*pq = h
 }
 
-// pop removes and returns the earliest event.
-func (s *Sim) pop() event {
-	top := s.pq[0]
-	n := len(s.pq) - 1
-	s.pq[0] = s.pq[n]
-	s.pq[n] = event{} // release fn/nw/payload references
-	s.pq = s.pq[:n]
+// heapPop removes and returns the earliest event of a non-empty heap.
+func heapPop(pq *[]event) event {
+	h := *pq
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/nw/payload references
+	h = h[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -108,17 +121,36 @@ func (s *Sim) pop() event {
 			break
 		}
 		min := l
-		if r < n && s.pq[r].before(&s.pq[l]) {
+		if r < n && h[r].before(&h[l]) {
 			min = r
 		}
-		if !s.pq[min].before(&s.pq[i]) {
+		if !h[min].before(&h[i]) {
 			break
 		}
-		s.pq[i], s.pq[min] = s.pq[min], s.pq[i]
+		h[i], h[min] = h[min], h[i]
 		i = min
 	}
+	*pq = h
 	return top
 }
+
+// push routes e to its queue: the owning shard's heap when the sharded
+// engine is active and the event is a delivery a shard may process
+// concurrently, the global heap otherwise (timers, deliveries to
+// processes with order-sensitive handlers, deliveries on non-sharded
+// networks).
+func (s *Sim) push(e event) {
+	if s.eng != nil && e.kind == evDeliver && e.nw == s.eng.nw {
+		if sh, ok := s.eng.nw.safeShard(e.msg.To); ok {
+			heapPush(&s.eng.heaps[sh], e)
+			return
+		}
+	}
+	heapPush(&s.pq, e)
+}
+
+// pop removes and returns the earliest event of the global heap.
+func (s *Sim) pop() event { return heapPop(&s.pq) }
 
 // schedule enqueues e after delay virtual-time units.
 func (s *Sim) schedule(delay int64, e event) {
@@ -132,8 +164,14 @@ func (s *Sim) schedule(delay int64, e event) {
 }
 
 // Schedule runs fn after delay virtual time units (delay 0 runs at the
-// current time, after already-queued same-time events).
+// current time, after already-queued same-time events). It must not be
+// called from a shard-safe delivery handler (AddShardSafeHandler):
+// timer creation is order-sensitive engine state, so handlers that
+// schedule must stay on the serial path (plain AddHandler).
 func (s *Sim) Schedule(delay int64, fn func()) {
+	if s.eng != nil && s.eng.inParallel {
+		panic("simnet: Schedule called from a shard-safe handler; register it with AddHandler instead")
+	}
 	s.schedule(delay, event{kind: evTimer, fn: fn})
 }
 
@@ -158,6 +196,9 @@ func (s *Sim) step() {
 // Run executes events until the queue empties or the next event is later
 // than until. It returns the number of events executed.
 func (s *Sim) Run(until int64) int {
+	if s.eng != nil {
+		return s.eng.run(until, true)
+	}
 	n := 0
 	for len(s.pq) > 0 && s.pq[0].time <= until {
 		s.step()
@@ -172,6 +213,9 @@ func (s *Sim) Run(until int64) int {
 // RunUntilIdle drains the event queue completely (the queue must be
 // finite: every protocol run is bounded by construction).
 func (s *Sim) RunUntilIdle() int {
+	if s.eng != nil {
+		return s.eng.run(maxTime, false)
+	}
 	n := 0
 	for len(s.pq) > 0 {
 		s.step()
@@ -181,7 +225,15 @@ func (s *Sim) RunUntilIdle() int {
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.pq) }
+func (s *Sim) Pending() int {
+	n := len(s.pq)
+	if s.eng != nil {
+		for i := range s.eng.heaps {
+			n += len(s.eng.heaps[i])
+		}
+	}
+	return n
+}
 
 // DelayModel decides the delivery delay of each message, defining the
 // synchrony assumption of Section 4.2.
