@@ -100,6 +100,12 @@ func (s *sysFunc) Run(cfg Config) (*Result, error) {
 			onWitness: cfg.OnWitness,
 		}
 	}
+	if cfg.Metrics || cfg.MetricsEvery > 0 || cfg.TraceW != nil {
+		cfg.obsrun = newObsRun(&cfg)
+		if cfg.monrun != nil {
+			cfg.monrun.obs = cfg.obsrun
+		}
+	}
 	res, err := s.run(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
@@ -107,6 +113,11 @@ func (s *sysFunc) Run(cfg Config) (*Result, error) {
 	res.Info = s.info
 	if cfg.monrun != nil {
 		cfg.monrun.finish(res)
+	}
+	if cfg.obsrun != nil {
+		if err := cfg.obsrun.finish(res); err != nil {
+			return res, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
+		}
 	}
 	return res, nil
 }

@@ -215,6 +215,12 @@ func TestConformanceObserver(t *testing.T) {
 		if p.Round != i || p.System != "bitcoin" || p.Rounds != 200 {
 			t.Fatalf("progress %d wrong: %+v", i, p)
 		}
+		if p.VirtualTime != p.Now {
+			t.Fatalf("progress %d: VirtualTime %d disagrees with Now %d", i, p.VirtualTime, p.Now)
+		}
+		if i > 0 && p.VirtualTime < seen[i-1].VirtualTime {
+			t.Fatalf("progress %d: VirtualTime went backwards (%d after %d)", i, p.VirtualTime, seen[i-1].VirtualTime)
+		}
 	}
 
 	calls := 0

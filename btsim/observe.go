@@ -1,0 +1,148 @@
+package btsim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/consistency"
+	"repro/internal/history"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// TraceOptions tunes WithTrace's structured scheduler trace.
+type TraceOptions struct {
+	// SampleEvery keeps every SampleEvery-th send/deliver/timer event
+	// (by scheduler sequence number — deterministic); rare events
+	// (faults, crashes, shard epochs, merge stalls, witnesses) are
+	// always kept. 0 means 1: keep everything.
+	SampleEvery int64
+	// Limit caps retained events (0 means trace.DefaultLimit); events
+	// beyond it are counted as dropped, never silently lost.
+	Limit int
+	// JSONL writes the trace as JSON-lines instead of the default
+	// Chrome trace-event JSON (load the default in Perfetto /
+	// chrome://tracing; pipe JSONL through cmd/trace to convert).
+	JSONL bool
+}
+
+// witnessLatencyBounds buckets the virtual-time gap between a
+// violation's formation (its latest operation response) and the online
+// monitor emitting the witness.
+var witnessLatencyBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// obsRun carries one run's observability state from option processing
+// (sysFunc.Run) through the protocol adapter (Config.Base lowers reg
+// and tr onto protocols.Config, whose ApplyObservability installs them
+// on the simulator and group) to finalization after the run — the same
+// shared-pointer pattern monitorRun uses, because Config travels by
+// value.
+type obsRun struct {
+	reg       *metrics.Registry
+	tr        *trace.Tracer
+	traceW    io.Writer
+	traceOpts TraceOptions
+
+	rec    *history.Recorder
+	witLat *metrics.Histogram
+}
+
+// newObsRun builds the run's registry (always — WithTrace implies
+// metrics, since the Chrome export renders the sampled series as
+// counter tracks) and, when a trace writer is set, the tracer.
+func newObsRun(cfg *Config) *obsRun {
+	or := &obsRun{
+		reg:       metrics.New(cfg.MetricsEvery),
+		traceW:    cfg.TraceW,
+		traceOpts: cfg.TraceOpts,
+	}
+	if cfg.TraceW != nil {
+		or.tr = trace.New(trace.Options{
+			SampleEvery: cfg.TraceOpts.SampleEvery,
+			Limit:       cfg.TraceOpts.Limit,
+		})
+	}
+	return or
+}
+
+// bind runs inside the protocols.Config.Stream hook, right after the
+// runner built its recorder: it keeps the recorder for witness-latency
+// timestamps and registers the monitor's retained-state gauges when an
+// online monitor rides along.
+func (or *obsRun) bind(rec *history.Recorder, mr *monitorRun) {
+	or.rec = rec
+	if mr == nil {
+		return
+	}
+	// Probes read mr.mon at sample time, so checkpoint cycles swapping
+	// the monitor pointer are followed. Stats() walks the retained
+	// state — fine at sample points, which sit outside any handler.
+	or.reg.Probe("mon.retained", func() int64 {
+		if mr.mon == nil {
+			return 0
+		}
+		return int64(mr.mon.Stats().Retained)
+	})
+	or.reg.Probe("mon.witnesses", func() int64 {
+		if mr.mon == nil {
+			return 0
+		}
+		return int64(mr.mon.LiveWitnesses())
+	})
+	or.witLat = or.reg.Histogram("mon.witnessLatency", witnessLatencyBounds...)
+}
+
+// witness observes one live violation witness: detection latency is the
+// virtual time elapsed since the violation formed — the latest response
+// among the witnessing operations (invocation time for still-pending
+// ones). Also emits the always-kept trace event.
+func (or *obsRun) witness(w consistency.Witness) {
+	if or.rec == nil {
+		return
+	}
+	now := or.rec.Now()
+	formed := int64(0)
+	for _, op := range w.Ops {
+		t := op.RspTime
+		if op.Pending {
+			t = op.InvTime
+		}
+		if t > formed {
+			formed = t
+		}
+	}
+	if or.witLat != nil {
+		or.witLat.Observe(now - formed)
+	}
+	if or.tr != nil {
+		or.tr.Emit(trace.Event{
+			VT: now, Seq: or.tr.NextWitnessSeq(), Kind: trace.KWitness,
+			Shard: -1, P: -1, Detail: w.Property,
+		})
+	}
+}
+
+// finish snapshots the registry onto the Result and writes the trace.
+// Called by sysFunc.Run after the monitor finisher, so the legacy Stats
+// map is complete when it is folded into the snapshot.
+func (or *obsRun) finish(res *Result) error {
+	snap := or.reg.Snapshot()
+	if res.Result != nil {
+		snap.FoldStats(res.Stats)
+	}
+	res.Metrics = snap
+	if or.tr == nil || or.traceW == nil {
+		return nil
+	}
+	events := or.tr.Events()
+	var err error
+	if or.traceOpts.JSONL {
+		err = trace.WriteJSONL(or.traceW, events)
+	} else {
+		err = trace.WriteChrome(or.traceW, events, snap)
+	}
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return nil
+}

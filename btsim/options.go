@@ -2,9 +2,12 @@ package btsim
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/adversary"
 	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/protocols"
 	"repro/internal/simnet"
 	"repro/internal/tape"
@@ -127,6 +130,10 @@ type Progress struct {
 	Round, Rounds int
 	// Now is the simulator's virtual time.
 	Now int64
+	// VirtualTime is the simulator's virtual time — the same value as
+	// Now under its canonical name, matching Result.Metrics series
+	// timestamps and trace event times.
+	VirtualTime int64
 	// LiveWitnesses counts the violation witnesses the run's online
 	// monitor has emitted so far (0 when no monitor is attached) — the
 	// live-verdict feed of WithMonitor/WithStreaming runs.
@@ -214,6 +221,23 @@ type Config struct {
 	// specified to produce byte-identical histories, fault logs and
 	// digests. See WithShards.
 	Shards int
+	// Metrics attaches the deterministic metrics layer: every layer of
+	// the run registers zero-alloc counters and virtual-time-sampled
+	// gauges, and Result.Metrics carries the typed snapshot. Attaching
+	// metrics is specified to leave the run's digest byte-identical,
+	// and the snapshot itself is identical across shard counts. See
+	// WithMetrics.
+	Metrics bool
+	// MetricsEvery is the virtual-time sampling interval of the gauge
+	// series (0 means metrics.DefaultSampleEvery). Implies Metrics.
+	MetricsEvery int64
+	// TraceW, when set, receives the run's structured scheduler trace
+	// after the run — Chrome trace-event JSON by default (Perfetto /
+	// chrome://tracing loadable), JSON-lines with TraceOpts.JSONL.
+	// Implies Metrics. See WithTrace.
+	TraceW io.Writer
+	// TraceOpts tunes the trace (sampling, retention cap, format).
+	TraceOpts TraceOptions
 
 	// system is stamped by System.Run before the adapter sees the
 	// Config, so Base can label Progress events.
@@ -222,6 +246,10 @@ type Config struct {
 	// Monitor/Streaming is on. Config travels by value; the shared
 	// pointer is how Base's hook and the post-run finisher meet.
 	monrun *monitorRun
+	// obsrun is the run's observability state (metrics + trace),
+	// created by System.Run when Metrics is on — same pattern as
+	// monrun.
+	obsrun *obsRun
 }
 
 // Option mutates a Config; build one with NewConfig or pass options
@@ -366,6 +394,39 @@ func WithStreaming(segment int) Option {
 // correct, just not accelerated.
 func WithShards(k int) Option { return func(c *Config) { c.Shards = k } }
 
+// WithMetrics attaches the deterministic metrics layer: counters,
+// gauges and histograms across the scheduler, network, replica,
+// history and monitor layers, sampled against virtual time.
+// Result.Metrics carries the typed snapshot; its digest-relevant
+// sections are identical across shard counts, and attaching metrics
+// never changes the run's replay digest.
+func WithMetrics() Option { return func(c *Config) { c.Metrics = true } }
+
+// WithMetricsInterval sets the virtual-time sampling interval of the
+// metric gauge series (every ≤ 0 means the default). Implies
+// WithMetrics.
+func WithMetricsInterval(every int64) Option {
+	return func(c *Config) {
+		c.Metrics = true
+		c.MetricsEvery = every
+	}
+}
+
+// WithTrace streams the run's structured scheduler trace — sends,
+// deliveries, timers, faults, crashes, shard epochs, merge stalls and
+// monitor witnesses — to w when the run finishes: Chrome trace-event
+// JSON by default (load in Perfetto or chrome://tracing), JSON-lines
+// with opts.JSONL. Sampling is deterministic (by scheduler sequence
+// number) and attaching a trace never changes the run's digest.
+// Implies WithMetrics.
+func WithTrace(w io.Writer, opts TraceOptions) Option {
+	return func(c *Config) {
+		c.Metrics = true
+		c.TraceW = w
+		c.TraceOpts = opts
+	}
+}
+
 // validate rejects configurations no system can run.
 func (c Config) validate() error {
 	if c.N < 0 {
@@ -414,6 +475,15 @@ func (c Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("negative Shards %d", c.Shards)
+	}
+	if c.MetricsEvery < 0 {
+		return fmt.Errorf("negative MetricsEvery %d", c.MetricsEvery)
+	}
+	if c.TraceOpts.SampleEvery < 0 {
+		return fmt.Errorf("negative trace SampleEvery %d", c.TraceOpts.SampleEvery)
+	}
+	if c.TraceOpts.Limit < 0 {
+		return fmt.Errorf("negative trace Limit %d", c.TraceOpts.Limit)
 	}
 	return nil
 }
@@ -469,13 +539,26 @@ func (c Config) Base() protocols.Config {
 		}
 		pc.Observer = func(round int, now int64) bool {
 			return obs(Progress{
-				System: system, Round: round, Rounds: rounds, Now: now,
+				System: system, Round: round, Rounds: rounds,
+				Now: now, VirtualTime: now,
 				LiveWitnesses: mr.liveWitnesses(),
 			})
 		}
 	}
-	if c.monrun != nil {
-		pc.Stream = c.monrun.bind
+	if c.monrun != nil || c.obsrun != nil {
+		mr, or := c.monrun, c.obsrun
+		pc.Stream = func(rec *history.Recorder, score core.Score) {
+			if mr != nil {
+				mr.bind(rec, score)
+			}
+			if or != nil {
+				or.bind(rec, mr)
+			}
+		}
+	}
+	if c.obsrun != nil {
+		pc.Metrics = c.obsrun.reg
+		pc.Trace = c.obsrun.tr
 	}
 	return pc
 }

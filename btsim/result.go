@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/protocols"
 )
 
@@ -26,6 +27,13 @@ type Result struct {
 	// and Stream.SC/EC are diff-tested equivalent; with WithStreaming
 	// it is the only verdict, since no batch history was retained.
 	Stream *StreamOutcome
+	// Metrics is the typed metric snapshot of a WithMetrics/WithTrace
+	// run (nil otherwise): counters, histograms, the virtual-time
+	// gauge series, and the legacy protocol stats folded in — a
+	// superset of the Stats map. Its digest-relevant sections are
+	// deterministic across shard counts; the Sharding and Timing
+	// sections carry the k-specific and wall-clock readings.
+	Metrics *metrics.Snapshot
 }
 
 // Check classifies the recorded history against both consistency

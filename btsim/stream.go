@@ -63,6 +63,10 @@ type monitorRun struct {
 	ckptOps int
 	ckpts   int
 	ckptErr error
+
+	// obs, when the run also carries the metrics/trace layer, receives
+	// each witness for latency measurement and trace emission.
+	obs *obsRun
 }
 
 // monSink delegates the stream to the run's *current* monitor, so a
@@ -121,6 +125,9 @@ func (mr *monitorRun) bind(rec *history.Recorder, score core.Score) {
 			mr.n++
 			if len(mr.live) < liveKeep {
 				mr.live = append(mr.live, w)
+			}
+			if mr.obs != nil {
+				mr.obs.witness(w)
 			}
 			if mr.onWitness != nil {
 				mr.onWitness(w)

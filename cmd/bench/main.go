@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go run ./cmd/bench [-dir .] [-out name.json] [-count 1] [-filter substring] [-label note] [-compare]
+//	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Besides wall time and cumulative allocations, every entry records its
 // peak live heap (sampled concurrently during the run): the batch and
@@ -13,6 +14,13 @@
 // default) renders the batch-vs-stream trade directly — wall time next
 // to peak resident memory — which is how ablation #10's numbers are
 // produced.
+//
+// The -met entries run the identical workload with the deterministic
+// metrics layer attached: their wall delta against the bare sibling is
+// the measured instrumentation overhead, and their metric summary is
+// embedded in the snapshot entry (Entry.Metrics). -cpuprofile and
+// -memprofile write pprof profiles of the suite run (see SCALING.md's
+// profiling workflow).
 //
 // A CI step (or a release ritual) runs it after performance-relevant
 // changes; the committed BENCH_*.json files make regressions diffable.
@@ -25,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -49,6 +58,10 @@ type Entry struct {
 	// suffix for sharded cases; the field makes the knob machine-readable
 	// so snapshot consumers don't parse names.
 	Shards int `json:"shards,omitempty"`
+	// Metrics is the deterministic metric summary of an instrumented
+	// (-met) case's last iteration — counters, protocol stats and
+	// timings from the run's metrics.Snapshot. Absent on bare cases.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the schema of a BENCH_<date>.json file.
@@ -95,7 +108,37 @@ func main() {
 	filter := flag.String("filter", "", "run only cases whose name contains this substring")
 	label := flag.String("label", "", "free-form note stored in the snapshot")
 	compare := flag.Bool("compare", true, "report batch-vs-stream pairs: wall time alongside peak memory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the last case) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
+	}
 
 	snap := Snapshot{
 		Date:      time.Now().UTC().Format(time.RFC3339),
@@ -137,6 +180,9 @@ func main() {
 			PeakBytes:   peak,
 			Shards:      c.Shards,
 		}
+		if c.Metrics != nil {
+			e.Metrics = c.Metrics()
+		}
 		snap.Entries = append(snap.Entries, e)
 		fmt.Printf("%-32s %14.0f ns/op %12d B/op %10d allocs/op %10s peak\n",
 			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, mb(e.PeakBytes))
@@ -165,6 +211,7 @@ func main() {
 
 	if *compare {
 		comparePairs(snap.Entries)
+		compareMetered(snap.Entries)
 	}
 
 	if prev == nil {
@@ -230,6 +277,45 @@ func comparePairs(entries []Entry) {
 		return
 	}
 	fmt.Println("\nbatch vs stream (identical workloads):")
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+}
+
+// compareMetered renders the bare-vs-instrumented table: for every
+// "<name>" with a "<name>-met" sibling the two entries ran the
+// identical workload, one with the metrics layer attached — the wall
+// delta is the measured instrumentation overhead (DESIGN.md ablation
+// #13) — and the metered entry's deterministic metrics (merge-stall
+// share of wall time, delivery counts) print alongside.
+func compareMetered(entries []Entry) {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var lines []string
+	for _, e := range entries {
+		m, ok := byName[e.Name+"-met"]
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("%-32s time %s → %s (%+.1f%% instrumented)",
+			e.Name, dur(e.NsPerOp), dur(m.NsPerOp), delta(m.NsPerOp, e.NsPerOp))
+		if stall, ok := m.Metrics["timing:merge.stall.ns"]; ok && m.NsPerOp > 0 {
+			line += fmt.Sprintf("   merge-stall %.1f%%", float64(stall)/m.NsPerOp*100)
+		}
+		if peak, ok := m.Metrics["hist.ops.peak"]; ok {
+			line += fmt.Sprintf("   ops %d", peak)
+		}
+		if peak, ok := m.Metrics["mon.retained.peak"]; ok {
+			line += fmt.Sprintf("   mon-peak %d", peak)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Println("\nbare vs instrumented (identical workloads):")
 	for _, l := range lines {
 		fmt.Println("  " + l)
 	}

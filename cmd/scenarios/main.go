@@ -13,6 +13,7 @@
 // Usage:
 //
 //	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check] [-stream] [-long full|smoke]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -list prints the catalogue and the registered systems; -seed
 // overrides every pinned seed; -sweep K re-runs each scenario at K
@@ -21,13 +22,17 @@
 // violation the paper predicts (CI smoke); -stream checks every
 // scenario with the online consistency monitor and exits non-zero if
 // any outcome diverges from batch Classify; -long runs the
-// streaming-only ≥1M-op scenario ("smoke" is the scaled CI variant).
+// streaming-only ≥1M-op scenario ("smoke" is the scaled CI variant);
+// -cpuprofile/-memprofile write pprof profiles of the whole invocation
+// (see SCALING.md's profiling workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/btsim"
@@ -44,7 +49,37 @@ func main() {
 	check := flag.Bool("check", false, "exit 1 if a predicted violation goes unmeasured")
 	stream := flag.Bool("stream", false, "check with the online monitor and diff every outcome against batch Classify")
 	long := flag.String("long", "", `run the streaming-only long-run scenario: "full" (≥1M ops) or "smoke" (CI scale)`)
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (at exit) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scenarios:", err)
+			}
+		}()
+	}
 
 	if *list {
 		printList()

@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"testing"
 
 	"repro/btsim"
@@ -65,6 +66,21 @@ func TestPipelineDeterminismPinned(t *testing.T) {
 				t.Fatalf("pipeline digest changed: got %s, want %s (fixed-seed histories/trees/verdicts must be identical)", got, r.want)
 			}
 		})
+		// The same pinned values must hold with the observability layer
+		// attached: metrics and tracing are read-only with respect to
+		// the simulation, so they cannot move a single event.
+		t.Run(r.name+"-instrumented", func(t *testing.T) {
+			opts := append(append([]btsim.Option{}, r.opts...),
+				btsim.WithMetrics(),
+				btsim.WithTrace(io.Discard, btsim.TraceOptions{SampleEvery: 4}))
+			res, err := btsim.Run(r.system, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := pipelineDigest(res); got != r.want {
+				t.Fatalf("instrumented pipeline digest changed: got %s, want %s (metrics/trace must be digest-neutral)", got, r.want)
+			}
+		})
 	}
 }
 
@@ -91,6 +107,18 @@ func TestSimScaleDeterminismPinned(t *testing.T) {
 	gotStream := benchsuite.RunSimScaleStream(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5})
 	if gotStream != want {
 		t.Fatalf("streaming SimScale diverged from batch:\n got %+v\nwant %+v", gotStream, want)
+	}
+	// The metered variant attaches the metrics layer to the identical
+	// workload: same stats (instrumentation is observational), and the
+	// snapshot must be identical across shard counts.
+	gotMet, snap := benchsuite.RunSimScaleMetered(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5})
+	if gotMet != want {
+		t.Fatalf("metered SimScale diverged from bare:\n got %+v\nwant %+v", gotMet, want)
+	}
+	_, snapSharded := benchsuite.RunSimScaleMetered(benchsuite.ScaleConfig{N: 8, Blocks: 300, Seed: 5, Shards: 4})
+	if snap.Digest() != snapSharded.Digest() {
+		t.Fatalf("metric snapshot digest differs across shard counts: serial %s, sharded %s",
+			snap.Digest(), snapSharded.Digest())
 	}
 }
 

@@ -110,17 +110,11 @@ func runBenignWorkload(sim *simnet.Sim, g *replica.Group, cfg ScaleConfig) {
 	}
 }
 
-// RunSimScale executes the full pipeline once: simulate, record, check.
-// The workload is deterministic for a fixed config.
-func RunSimScale(cfg ScaleConfig) ScaleStats {
-	cfg.normalize()
-	sim, g := benignGroup(cfg)
-	runBenignWorkload(sim, g, cfg)
-
+// collectStats classifies the recorded history and summarizes the run.
+func collectStats(g *replica.Group) ScaleStats {
 	h := g.History()
 	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
 	sc, ec := chk.Classify(h)
-
 	return ScaleStats{
 		Blocks:    g.Procs[0].Tree().Len() - 1,
 		Reads:     len(h.Reads()),
@@ -129,6 +123,15 @@ func RunSimScale(cfg ScaleConfig) ScaleStats {
 		SCOK:      sc.OK,
 		ECOK:      ec.OK,
 	}
+}
+
+// RunSimScale executes the full pipeline once: simulate, record, check.
+// The workload is deterministic for a fixed config.
+func RunSimScale(cfg ScaleConfig) ScaleStats {
+	cfg.normalize()
+	sim, g := benignGroup(cfg)
+	runBenignWorkload(sim, g, cfg)
+	return collectStats(g)
 }
 
 // RunSimScaleAdversarial executes the attack-scenario variant of the
@@ -190,19 +193,7 @@ func RunSimScaleAdversarial(cfg ScaleConfig) ScaleStats {
 	for _, pr := range g.Procs {
 		pr.Read()
 	}
-
-	h := g.History()
-	chk := consistency.NewChecker(core.LengthScore{}, core.WellFormed{})
-	sc, ec := chk.Classify(h)
-
-	return ScaleStats{
-		Blocks:    g.Procs[0].Tree().Len() - 1,
-		Reads:     len(h.Reads()),
-		CommEvts:  len(h.Comm),
-		MaxHeight: g.Procs[0].Tree().Height(),
-		SCOK:      sc.OK,
-		ECOK:      ec.OK,
-	}
+	return collectStats(g)
 }
 
 // Case is one tracked benchmark: Run executes one self-verifying
@@ -215,6 +206,22 @@ type Case struct {
 	// Shards is the scheduler shard count the case runs under (0 or 1 =
 	// serial); cmd/bench stamps it into the BENCH_<date>.json entries.
 	Shards int
+	// Metrics, on instrumented (-met) cases, returns the last run's
+	// metric summary (counters, stats, timings) for cmd/bench to embed
+	// in the snapshot entry. Nil on bare cases.
+	Metrics func() map[string]int64
+}
+
+// benchWrap lifts a self-verifying Run into a testing.B loop.
+func benchWrap(run func() error) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // scaleCase wraps one SimScale config as a benchmark case. A lossless
@@ -236,14 +243,7 @@ func scaleCase(cfg ScaleConfig) Case {
 		}
 		return nil
 	}
-	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := run(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}}
+	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: benchWrap(run)}
 }
 
 // scaleAdvCase wraps one adversarial SimScale config. The partitions
@@ -269,14 +269,7 @@ func scaleAdvCase(cfg ScaleConfig) Case {
 		}
 		return nil
 	}
-	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := run(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}}
+	return Case{Name: name, Shards: cfg.Shards, Run: run, Bench: benchWrap(run)}
 }
 
 // Cases returns the tracked suite, smallest first. All entries are
@@ -291,6 +284,7 @@ func Cases() []Case {
 		scaleCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
 		scaleAdvCase(ScaleConfig{N: 16, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
+		scaleMetCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleAdvCase(ScaleConfig{N: 64, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42}),
 		scaleCase(ScaleConfig{N: 128, Blocks: 5_000, Seed: 42, Shards: 4}),
@@ -299,6 +293,7 @@ func Cases() []Case {
 		scaleCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42}),
 		scaleAdvCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42}),
 		scaleCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42, Shards: 4}),
+		scaleMetCase(ScaleConfig{N: 256, Blocks: 2_500, Seed: 42, Shards: 4}),
 		scaleCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42}),
 		scaleAdvCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42}),
 		scaleCase(ScaleConfig{N: 1024, Blocks: 1_200, Seed: 42, Shards: 8}),

@@ -1,0 +1,71 @@
+package benchsuite
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RunSimScaleMetered executes the benign SimScale pipeline with the
+// deterministic metrics layer attached — the instrumented twin of
+// RunSimScale. The returned stats must be identical to the bare run's
+// (metrics are read-only with respect to the simulation; DESIGN.md
+// ablation #13 prices the difference in wall time), and the snapshot
+// carries the sampled scheduler/network/replica/history series.
+func RunSimScaleMetered(cfg ScaleConfig) (ScaleStats, *metrics.Snapshot) {
+	cfg.normalize()
+	sim, g := benignGroup(cfg)
+
+	// ~64 sample rows per run regardless of horizon, so snapshot size
+	// does not scale with Blocks.
+	every := int64(cfg.Blocks) / 64
+	if every < 1 {
+		every = 1
+	}
+	reg := metrics.New(every)
+	sim.SetMetrics(reg)
+	g.Net.RegisterMetrics(reg)
+	g.RegisterMetrics(reg)
+	g.Rec.RegisterMetrics(reg)
+
+	runBenignWorkload(sim, g, cfg)
+	st := collectStats(g)
+	return st, reg.Snapshot()
+}
+
+// scaleMetCase wraps one metered SimScale config: the workload and the
+// self-checks of scaleCase, plus a metric snapshot cmd/bench embeds in
+// the BENCH_<date>.json entry. The bare sibling of the same config
+// gives the instrumented-vs-bare overhead pair -compare renders.
+func scaleMetCase(cfg ScaleConfig) Case {
+	name := fmt.Sprintf("SimScale/N%d-b%d", cfg.N, cfg.Blocks)
+	if cfg.Shards > 1 {
+		name += fmt.Sprintf("-s%d", cfg.Shards)
+	}
+	name += "-met"
+	var last *metrics.Snapshot
+	run := func() error {
+		st, snap := RunSimScaleMetered(cfg)
+		last = snap
+		if !st.ECOK {
+			return fmt.Errorf("%s: EC violated on a lossless synchronous run", name)
+		}
+		if st.Blocks != cfg.Blocks {
+			return fmt.Errorf("%s: %d blocks attached, want %d", name, st.Blocks, cfg.Blocks)
+		}
+		// Metered == bare stats is pinned by the root determinism test,
+		// not re-verified here: the -met entry's wall time must price
+		// only the instrumented run for the overhead comparison.
+		return nil
+	}
+	return Case{
+		Name: name, Shards: cfg.Shards, Run: run,
+		Metrics: func() map[string]int64 {
+			if last == nil {
+				return nil
+			}
+			return last.Summary()
+		},
+		Bench: benchWrap(run),
+	}
+}

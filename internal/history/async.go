@@ -18,6 +18,15 @@ type AsyncSink struct {
 	inner Sink
 	ch    chan asyncEvent
 	done  chan struct{}
+
+	// highWater/blocked are producer-side backpressure diagnostics:
+	// the deepest queue observed at enqueue time and how many enqueues
+	// found the queue full (and therefore blocked on the consumer).
+	// Only the producer writes them (the recorder's lock serializes
+	// producers), and they depend on wall-clock consumer progress, so
+	// they surface in the metrics Timing section — never the digest.
+	highWater int
+	blocked   int64
 }
 
 // asyncEvent is one queued sink invocation (a tagged union, smallest
@@ -57,14 +66,31 @@ func (s *AsyncSink) consume() {
 	}
 }
 
+// track samples the queue depth before an enqueue (producer side only).
+func (s *AsyncSink) track() {
+	if n := len(s.ch); n > s.highWater {
+		s.highWater = n
+	}
+	if len(s.ch) == cap(s.ch) {
+		s.blocked++
+	}
+}
+
 // OpDone implements Sink.
-func (s *AsyncSink) OpDone(op *Op) { s.ch <- asyncEvent{kind: 0, op: op} }
+func (s *AsyncSink) OpDone(op *Op) { s.track(); s.ch <- asyncEvent{kind: 0, op: op} }
 
 // CommDone implements Sink.
-func (s *AsyncSink) CommDone(e CommEvent) { s.ch <- asyncEvent{kind: 1, comm: e} }
+func (s *AsyncSink) CommDone(e CommEvent) { s.track(); s.ch <- asyncEvent{kind: 1, comm: e} }
 
 // Faulty implements Sink.
-func (s *AsyncSink) Faulty(p int) { s.ch <- asyncEvent{kind: 2, p: p} }
+func (s *AsyncSink) Faulty(p int) { s.track(); s.ch <- asyncEvent{kind: 2, p: p} }
+
+// QueueStats reports (deepest queue depth observed, enqueues that
+// blocked on a full queue, queue capacity). Read after Drain, or from
+// the producer side only.
+func (s *AsyncSink) QueueStats() (highWater int, blocked int64, capacity int) {
+	return s.highWater, s.blocked, cap(s.ch)
+}
 
 // Drain flushes the queue and stops the consumer. It must be called
 // exactly once, after recording has stopped and before any downstream

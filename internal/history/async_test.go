@@ -3,6 +3,7 @@ package history
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -101,6 +102,87 @@ func TestAsyncSinkSegmentedEquivalence(t *testing.T) {
 		if direct.Ops[i].ID != async.Ops[i].ID || direct.Ops[i].Kind != async.Ops[i].Kind {
 			t.Fatalf("op %d diverged: async %+v, direct %+v", i, async.Ops[i], direct.Ops[i])
 		}
+	}
+}
+
+// slowSink simulates a consumer slower than the producer, so the
+// bounded queue fills and enqueues block — the sustained-backpressure
+// regime AsyncSink is specified to survive without losing or
+// reordering anything.
+type slowSink struct {
+	orderSink
+	delay time.Duration
+}
+
+func (s *slowSink) OpDone(op *Op) {
+	time.Sleep(s.delay)
+	s.orderSink.OpDone(op)
+}
+
+// TestAsyncSinkSustainedBackpressure saturates a tiny queue with a
+// deliberately slow consumer: every event must still arrive, in order,
+// and the producer-side QueueStats must show the queue ran full.
+func TestAsyncSinkSustainedBackpressure(t *testing.T) {
+	inner := &slowSink{delay: 100 * time.Microsecond}
+	as := NewAsyncSink(inner, 2)
+	rec := NewRecorder(1, nil)
+	rec.SetSink(as)
+	rec.SetRetain(false)
+
+	const n = 200
+	c := streamChain(rec, n)
+	for _, b := range c[1:] {
+		rec.Append(0, b, true)
+	}
+	as.Drain()
+
+	if got := len(inner.events); got != n {
+		t.Fatalf("consumer saw %d events, want %d (backpressure must not drop)", got, n)
+	}
+	high, blocked, capacity := as.QueueStats()
+	if capacity != 2 {
+		t.Fatalf("queue capacity %d, want 2", capacity)
+	}
+	if high < capacity {
+		t.Fatalf("high water %d never reached the %d-slot capacity under a slow consumer", high, capacity)
+	}
+	if blocked == 0 {
+		t.Fatal("no enqueue ever blocked under sustained backpressure")
+	}
+}
+
+// TestAsyncSinkDrainAfterCrashWindow records through a mid-run crash
+// window — operations, a fault mark, more operations — and drains:
+// the flush must deliver everything already enqueued, with the fault
+// mark at exactly the position a synchronous sink would have seen it.
+func TestAsyncSinkDrainAfterCrashWindow(t *testing.T) {
+	inner := &orderSink{}
+	as := NewAsyncSink(inner, 4)
+	rec := NewRecorder(2, nil)
+	rec.SetSink(as)
+
+	c := streamChain(rec, 7)
+	for i, b := range c[1:] {
+		rec.Append(0, b, true)
+		if i == 2 {
+			rec.MarkFaulty(1) // the crash window opens mid-run
+		}
+	}
+	rec.ReadHead(0, c.Head())
+	as.Drain()
+
+	want := []string{"op", "op", "op", "faulty", "op", "op", "op", "op", "op"}
+	if len(inner.events) != len(want) {
+		t.Fatalf("drained %d events, want %d: %v", len(inner.events), len(want), inner.events)
+	}
+	for i := range want {
+		if inner.events[i] != want[i] {
+			t.Fatalf("event %d is %q, want %q (full stream: %v)", i, inner.events[i], want[i], inner.events)
+		}
+	}
+	// Drain is terminal: the stats are stable and readable afterwards.
+	if high, _, _ := as.QueueStats(); high < 0 {
+		t.Fatalf("queue stats unreadable after Drain (high=%d)", high)
 	}
 }
 

@@ -476,6 +476,7 @@ type Recorder struct {
 	nextID int
 	ops    []*Op
 	comm   []CommEvent
+	ncomm  int // comm events recorded (valid in drop mode, unlike len(comm))
 	procs  int
 	faulty map[int]bool
 	clock  func() int64
@@ -670,6 +671,7 @@ func (r *Recorder) RecordComm(kind CommKind, p int, parent, block core.BlockID) 
 	defer r.mu.Unlock()
 	e := CommEvent{Kind: kind, Proc: p, Parent: parent, Block: block, Index: r.seq, Time: r.clock()}
 	r.seq++
+	r.ncomm++
 	if !r.drop {
 		r.comm = append(r.comm, e)
 	}

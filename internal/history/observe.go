@@ -1,0 +1,48 @@
+package history
+
+import "repro/internal/metrics"
+
+// Now returns the recorder's current virtual-clock reading. The
+// witness-latency instrumentation subtracts operation response times
+// from it to measure how long a violation stayed undetected.
+func (r *Recorder) Now() int64 { return r.clock() }
+
+// RegisterMetrics registers the recorder's gauges: operations recorded,
+// communication events recorded, and currently pending (invoked but
+// unresponded) operations. Probes run at serial sample points, where no
+// recording is in flight; the mutex is taken anyway so the race
+// detector can see the discipline.
+func (r *Recorder) RegisterMetrics(reg *metrics.Registry) {
+	reg.Probe("hist.ops", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.nextID)
+	})
+	reg.Probe("hist.comm", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.ncomm)
+	})
+	reg.Probe("hist.pendingOps", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.pending != nil {
+			return int64(len(r.pending))
+		}
+		n := int64(0)
+		for _, op := range r.ops {
+			if op.Pending {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+// RegisterMetrics registers the segment sink's gauges: segments sealed
+// and operations streamed through — the segment-throughput view of a
+// streaming run.
+func (s *SegmentSink) RegisterMetrics(reg *metrics.Registry) {
+	reg.Probe("seg.sealed", func() int64 { return int64(s.next) })
+	reg.Probe("seg.ops", func() int64 { return int64(s.nops) })
+}

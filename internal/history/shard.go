@@ -75,6 +75,7 @@ func (r *Recorder) CommitStagedComms() {
 		r.stagedPos[best]++
 		e := CommEvent{Kind: sc.kind, Proc: sc.proc, Parent: sc.parent, Block: sc.block, Index: r.seq, Time: r.clock()}
 		r.seq++
+		r.ncomm++
 		if !r.drop {
 			r.comm = append(r.comm, e)
 		}

@@ -1,0 +1,271 @@
+// Package metrics is the deterministic observability layer: counters,
+// gauges and histograms sampled against *virtual time*, so that for a
+// fixed configuration and seed the full metric stream — every sampled
+// series row, every final counter value — is byte-identical across
+// runs AND across scheduler shard counts. It is the instrument panel
+// of the whole pipeline (simnet, replica, history, consistency,
+// btsim), and its hard correctness requirement is digest-neutrality:
+// attaching a Registry must not change a single scheduled event, RNG
+// draw or recorded history byte.
+//
+// The determinism argument, instrument by instrument:
+//
+//   - Counters (and per-process CounterVec slots) are commutative sums.
+//     Under the sharded scheduler a slot is mutated only by its owner
+//     process (the shard-safety contract of simnet.AddShardSafeHandler),
+//     so increments race with nothing and totals are independent of
+//     worker interleaving.
+//   - Gauges are probe *functions*, evaluated only at sample points.
+//     Sample points sit at virtual-time boundaries — "just before the
+//     first event with time ≥ boundary executes" — which the serial
+//     and sharded schedulers cross at identical event-set states: all
+//     events strictly earlier have executed, and every staged side
+//     effect of theirs has committed at the merge barrier.
+//   - Histograms accumulate bucket counts (commutative sums again); a
+//     small mutex makes rare cross-goroutine observations safe without
+//     affecting determinism.
+//
+// Wall-clock measurements (merge-barrier stall time, async queue
+// high-water marks) are inherently non-deterministic; they live in the
+// Snapshot's Timing section, which — like the shard-count-specific
+// Sharding section — is excluded from Snapshot.Digest.
+package metrics
+
+import "sync"
+
+// Counter is a monotone (or at least sum-semantics) int64 counter.
+// Inc/Add perform one integer addition: no allocation, no lock — safe
+// on the hottest paths. Mutate it only from the serial scheduler
+// context or from a single owning process (see the package comment).
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// CounterVec is a counter with one slot per process. Under the sharded
+// scheduler each slot is mutated only by its owner process's handler,
+// so no synchronization is needed and the Total is independent of how
+// workers interleaved — the per-process layout is exactly what makes a
+// counter shard-safe.
+type CounterVec struct {
+	name  string
+	slots []int64
+}
+
+// Inc adds 1 to process p's slot.
+func (cv *CounterVec) Inc(p int) { cv.slots[p]++ }
+
+// Add adds d to process p's slot.
+func (cv *CounterVec) Add(p int, d int64) { cv.slots[p] += d }
+
+// Total sums every slot.
+func (cv *CounterVec) Total() int64 {
+	var t int64
+	for _, v := range cv.slots {
+		t += v
+	}
+	return t
+}
+
+// Max returns the largest slot value.
+func (cv *CounterVec) Max() int64 {
+	var m int64
+	for _, v := range cv.slots {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Value returns process p's slot.
+func (cv *CounterVec) Value(p int) int64 { return cv.slots[p] }
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending; one implicit +Inf bucket). Observations are rare events
+// (witness latencies, batch sizes), so a mutex is affordable; bucket
+// sums commute, keeping the final counts deterministic regardless of
+// observation interleaving.
+type Histogram struct {
+	mu     sync.Mutex
+	name   string
+	bounds []int64
+	counts []int64 // len(bounds)+1; last is +Inf
+	n, sum int64
+}
+
+// Observe files v into its bucket.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// probe is one registered gauge: a named function evaluated at sample
+// points (serial coordinator context only).
+type probe struct {
+	name string
+	fn   func() int64
+}
+
+// Row is one sampled series row: the probe values at virtual time VT.
+type Row struct {
+	VT   int64   `json:"vt"`
+	Vals []int64 `json:"vals"`
+}
+
+// Registry is one run's instrument registry plus its virtual-time
+// sampler. Create it with New, hand it to the layers to register their
+// instruments (registration order is fixed by the wiring code, so the
+// series schema is deterministic), let the scheduler drive Tick, and
+// call Snapshot once after the run.
+type Registry struct {
+	every      int64
+	nextSample int64
+	counters   []*Counter
+	vecs       []*CounterVec
+	hists      []*Histogram
+	probes     []probe
+	rows       []Row
+	clock      func() int64
+	timing     []NamedValue
+	onSnap     []func(*Snapshot)
+}
+
+// DefaultSampleEvery is the sampling interval used when none is given.
+const DefaultSampleEvery = 16
+
+// New creates a registry sampling every `every` virtual-time units
+// (≤ 0 means DefaultSampleEvery). The first sample boundary is at
+// virtual time `every` — time 0 would sample all-zero state.
+func New(every int64) *Registry {
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	return &Registry{every: every, nextSample: every}
+}
+
+// SampleEvery reports the sampling interval.
+func (r *Registry) SampleEvery() int64 { return r.every }
+
+// Counter registers a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// CounterVec registers a named per-process counter with n slots.
+func (r *Registry) CounterVec(name string, n int) *CounterVec {
+	cv := &CounterVec{name: name, slots: make([]int64, n)}
+	r.vecs = append(r.vecs, cv)
+	return cv
+}
+
+// Histogram registers a named histogram with the given ascending
+// bucket upper bounds (an implicit +Inf bucket is appended).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	h := &Histogram{name: name, bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Probe registers a named gauge: fn is evaluated at every sample point
+// (serial scheduler context — it may read state the parallel phase
+// owns, because no worker runs at a sample point) and its final value
+// is folded into the snapshot's Counters section. Registration order
+// defines the series column order, so wire probes in a fixed order.
+func (r *Registry) Probe(name string, fn func() int64) {
+	r.probes = append(r.probes, probe{name: name, fn: fn})
+}
+
+// SetClock attaches the virtual clock used to stamp the final sample
+// at Snapshot time (simnet.Sim.SetMetrics wires Sim.Now).
+func (r *Registry) SetClock(clock func() int64) { r.clock = clock }
+
+// Tick advances the sampler: next is the virtual time of the next
+// event about to execute. Every boundary ≤ next that has not been
+// sampled yet is sampled now — i.e. with the state "after all events
+// strictly before the boundary's crossing event", which is the same
+// state in serial and sharded execution. The common case (no boundary
+// crossed) is a single comparison, keeping the hot loop unharmed.
+func (r *Registry) Tick(next int64) {
+	for r.nextSample <= next {
+		r.sampleRow(r.nextSample)
+		r.nextSample += r.every
+	}
+}
+
+// Sample forces a sample row at the given virtual time (the final
+// partial-interval sample Snapshot takes).
+func (r *Registry) Sample(vt int64) { r.sampleRow(vt) }
+
+func (r *Registry) sampleRow(vt int64) {
+	if len(r.probes) == 0 {
+		return
+	}
+	vals := make([]int64, len(r.probes))
+	for i := range r.probes {
+		vals[i] = r.probes[i].fn()
+	}
+	r.rows = append(r.rows, Row{VT: vt, Vals: vals})
+}
+
+// Rows returns the sampled series rows so far.
+func (r *Registry) Rows() []Row { return r.rows }
+
+// AddTiming accumulates a named wall-clock measurement (nanoseconds,
+// queue depths — anything non-deterministic). Timing entries land in
+// the snapshot's Timing section, excluded from the digest.
+func (r *Registry) AddTiming(name string, v int64) {
+	for i := range r.timing {
+		if r.timing[i].Name == name {
+			r.timing[i].Value += v
+			return
+		}
+	}
+	r.timing = append(r.timing, NamedValue{Name: name, Value: v})
+}
+
+// SetTiming sets a named wall-clock measurement, replacing any
+// accumulated value.
+func (r *Registry) SetTiming(name string, v int64) {
+	for i := range r.timing {
+		if r.timing[i].Name == name {
+			r.timing[i].Value = v
+			return
+		}
+	}
+	r.timing = append(r.timing, NamedValue{Name: name, Value: v})
+}
+
+// OnSnapshot registers a hook run while Snapshot assembles (the sharded
+// scheduler fills the Sharding section here).
+func (r *Registry) OnSnapshot(fn func(*Snapshot)) {
+	r.onSnap = append(r.onSnap, fn)
+}

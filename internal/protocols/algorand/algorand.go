@@ -65,6 +65,7 @@ func Run(cfg Config) *protocols.Result {
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	cfg.ApplySharding(group)
+	cfg.ApplyObservability(sim, group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {
 		if a <= 0 {

@@ -62,6 +62,7 @@ func Run(cfg Config) *protocols.Result {
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	cfg.ApplySharding(group)
+	cfg.ApplyObservability(sim, group)
 	group.SetPredicate(core.WellFormed{})
 	// The frugal oracle with k = 1: getToken validates proposals (the
 	// PoW/Sortition/endorsement step of the real systems), the

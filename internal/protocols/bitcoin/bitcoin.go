@@ -62,6 +62,7 @@ func Run(cfg Config) *protocols.Result {
 	cfg.ApplyNet(group.Net)
 	recovery := cfg.ApplyCrashes(sim, group)
 	cfg.ApplySharding(group)
+	cfg.ApplyObservability(sim, group)
 	group.SetPredicate(core.WellFormed{})
 
 	// Adversarial wiring: one process may run a selfish-mining /

@@ -51,6 +51,7 @@ func Run(cfg Config) *protocols.Result {
 	cfg.ApplyNet(group.Net)
 	recovery := cfg.ApplyCrashes(sim, group)
 	cfg.ApplySharding(group)
+	cfg.ApplyObservability(sim, group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
 

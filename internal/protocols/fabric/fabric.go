@@ -76,6 +76,7 @@ func Run(cfg Config) *protocols.Result {
 	cfg.BindStream(group.Rec, core.LengthScore{})
 	cfg.ApplyNet(group.Net)
 	cfg.ApplySharding(group)
+	cfg.ApplyObservability(sim, group)
 	group.SetPredicate(core.WellFormed{})
 	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)
 	tob := consensus.NewTOB(group.Net, 0) // process 0 is the ordering service

@@ -15,9 +15,11 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/metrics"
 	"repro/internal/replica"
 	"repro/internal/simnet"
 	"repro/internal/tape"
+	"repro/internal/trace"
 )
 
 // Config is the common knob set. Protocol-specific knobs live in each
@@ -79,6 +81,16 @@ type Config struct {
 	// produce a byte-identical history and digest, so this is purely a
 	// wall-clock knob. Runners wire it through ApplySharding.
 	Shards int
+	// Metrics, when set, is the registry every layer of the run hangs
+	// its deterministic counters and virtual-time-sampled gauges on.
+	// Attaching it never changes the run's digest. Runners wire it
+	// through ApplyObservability.
+	Metrics *metrics.Registry
+	// Trace, when set, collects structured scheduler events (sends,
+	// deliveries, timers, faults, crashes, shard epochs, merge stalls)
+	// with deterministic sequence-number sampling. Runners wire it
+	// through ApplyObservability.
+	Trace *trace.Tracer
 
 	// halted latches a false Observer return so every later round is
 	// skipped without consulting the observer again.
@@ -136,6 +148,23 @@ func (c *Config) ApplyNet(nw *simnet.Network) {
 func (c *Config) ApplySharding(group *replica.Group) {
 	if c.Shards > 1 {
 		group.EnableSharding(c.Shards)
+	}
+}
+
+// ApplyObservability installs the run's metrics registry and event
+// tracer on the simulator, network, replica group and recorder (all
+// nil-safe). Every protocol runner calls it after ApplySharding — so
+// the sharded engine, when enabled, is in place for per-shard staging —
+// and before the run starts.
+func (c *Config) ApplyObservability(sim *simnet.Sim, group *replica.Group) {
+	if c.Trace != nil {
+		sim.SetTrace(c.Trace)
+	}
+	if c.Metrics != nil {
+		sim.SetMetrics(c.Metrics)
+		group.Net.RegisterMetrics(c.Metrics)
+		group.RegisterMetrics(c.Metrics)
+		group.Rec.RegisterMetrics(c.Metrics)
 	}
 }
 

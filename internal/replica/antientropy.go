@@ -108,12 +108,18 @@ func (p *Process) onInventory(from int, msg invMsg) {
 	}
 	for _, id := range msg.Leaves {
 		if !p.tree.Has(id) {
+			if p.mAEReq != nil {
+				p.mAEReq.Inc(p.ID)
+			}
 			p.nw.Send(p.ID, from, reqMsg{ID: id})
 		}
 	}
 	// Also repair the buffered orphans: their parents are missing.
 	for parent := range p.pending {
 		if !p.tree.Has(parent) {
+			if p.mAEReq != nil {
+				p.mAEReq.Inc(p.ID)
+			}
 			p.nw.Send(p.ID, from, reqMsg{ID: parent})
 		}
 	}

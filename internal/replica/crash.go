@@ -80,6 +80,7 @@ func (p *Process) Restore(s *Snapshot) {
 		if !p.pendingHas[b.ID] {
 			p.pendingHas[b.ID] = true
 			p.pending[b.Parent] = append(p.pending[b.Parent], b)
+			p.pendingN++
 		}
 	}
 	p.rejected = s.Rejected
@@ -96,6 +97,7 @@ func (p *Process) reset() {
 	p.pending = make(map[core.BlockID][]*core.Block)
 	p.pendingHas = make(map[core.BlockID]bool)
 	p.seen = make(map[core.BlockID]bool)
+	p.pendingN = 0
 }
 
 // Down reports whether this process is currently crashed. Harness

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/metrics"
 	"repro/internal/simnet"
 )
 
@@ -100,6 +101,15 @@ type Process struct {
 	// strategies (selfish mining, block withholding) are built on.
 	// Publish releases a withheld block later.
 	Mute bool
+
+	// pendingN tracks the orphan-buffer size incrementally so the
+	// metrics probe does not walk the pending map at every sample.
+	pendingN int
+
+	// Metric slots (nil when metrics are off; see Group.RegisterMetrics).
+	// Each is mutated only under this process's ID — the shard-safety
+	// contract that makes the counts order-free.
+	mFlood, mOrphan, mDup, mAEReq *metrics.CounterVec
 }
 
 // NewProcess creates replica id over network nw. The handler for the
@@ -172,6 +182,9 @@ func (p *Process) AppendLocal(b *core.Block) bool {
 		p.Reg.Record(b.ID, p.ID)
 		if !p.Mute {
 			p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
+			if p.mFlood != nil {
+				p.mFlood.Inc(p.ID)
+			}
 			p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
 		}
 	}
@@ -187,6 +200,9 @@ func (p *Process) Publish(b *core.Block) bool {
 		return false
 	}
 	p.Rec.RecordComm(history.EvSend, p.ID, b.Parent, b.ID)
+	if p.mFlood != nil {
+		p.mFlood.Inc(p.ID)
+	}
 	p.nw.Broadcast(p.ID, UpdateMsg{Parent: b.Parent, Block: b})
 	return true
 }
@@ -260,6 +276,10 @@ func (p *Process) applyOne(b *core.Block) bool {
 		if !p.pendingHas[b.ID] {
 			p.pendingHas[b.ID] = true
 			p.pending[b.Parent] = append(p.pending[b.Parent], b)
+			p.pendingN++
+			if p.mOrphan != nil {
+				p.mOrphan.Inc(p.ID)
+			}
 		}
 		return false
 	}
@@ -285,6 +305,7 @@ func (p *Process) takePending(id core.BlockID) []*core.Block {
 	for _, k := range kids {
 		delete(p.pendingHas, k.ID)
 	}
+	p.pendingN -= len(kids)
 	return kids
 }
 
@@ -297,6 +318,9 @@ func (p *Process) onMessage(m simnet.Message) {
 	}
 	if p.seen[um.Block.ID] && m.From != p.ID {
 		// Duplicate delivery via flooding: receive recorded once.
+		if p.mDup != nil {
+			p.mDup.Inc(p.ID)
+		}
 		return
 	}
 	p.Rec.RecordComm(history.EvReceive, p.ID, um.Parent, um.Block.ID)
@@ -314,13 +338,7 @@ func (p *Process) RejectedCount() int { return p.rejected }
 
 // PendingCount reports how many blocks are buffered waiting for parents
 // (diagnostics; should be 0 at the end of a loss-free run).
-func (p *Process) PendingCount() int {
-	n := 0
-	for _, v := range p.pending {
-		n += len(v)
-	}
-	return n
-}
+func (p *Process) PendingCount() int { return p.pendingN }
 
 // Group is a convenience bundle: n replicas over one network with a
 // shared recorder and registry.

@@ -1,6 +1,10 @@
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // This file adds the crash–recovery half of the fault model: alongside
 // partition windows (faults.go), a schedule can carry CrashWindows that
@@ -123,6 +127,9 @@ func (nw *Network) armCrashes(s *Schedule) {
 				if nw.sched != s {
 					return // schedule was replaced after arming
 				}
+				if tr := nw.sim.tracer; tr != nil {
+					tr.Emit(trace.Event{VT: nw.sim.now, Seq: nw.sim.curSeq, Kind: trace.KCrash, Shard: -1, P: w.Proc})
+				}
 				for _, fn := range nw.onCrash {
 					fn(w.Proc)
 				}
@@ -138,6 +145,9 @@ func (nw *Network) armCrashes(s *Schedule) {
 			nw.sim.At(w.End, func() {
 				if nw.sched != s {
 					return
+				}
+				if tr := nw.sim.tracer; tr != nil {
+					tr.Emit(trace.Event{VT: nw.sim.now, Seq: nw.sim.curSeq, Kind: trace.KRestart, Shard: -1, P: w.Proc})
 				}
 				for _, fn := range nw.onRestart {
 					fn(w.Proc)

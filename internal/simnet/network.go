@@ -1,6 +1,10 @@
 package simnet
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Message is one point-to-point message in flight.
 type Message struct {
@@ -177,12 +181,18 @@ func (nw *Network) sendNow(from, to int, payload any) {
 		if nw.logFaults {
 			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "crashloss", From: from, To: to})
 		}
+		if nw.sim.tracer != nil {
+			nw.traceFault(nw.sim.Now(), "crashloss", from, to)
+		}
 		return
 	}
 	if from != to && nw.drop(m) {
 		nw.dropped++
 		if nw.logFaults {
 			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "drop", From: from, To: to})
+		}
+		if nw.sim.tracer != nil {
+			nw.traceFault(nw.sim.Now(), "drop", from, to)
 		}
 		return
 	}
@@ -210,6 +220,9 @@ func (nw *Network) sendNow(from, to int, payload any) {
 					if nw.logFaults {
 						nw.faultLog = append(nw.faultLog, FaultEvent{Time: now, Kind: "partloss", From: from, To: to})
 					}
+					if nw.sim.tracer != nil {
+						nw.traceFault(now, "partloss", from, to)
+					}
 					return
 				}
 				if resolved != at {
@@ -230,6 +243,9 @@ func (nw *Network) sendNow(from, to int, payload any) {
 				Time: now, Kind: "defer", From: from, To: to,
 				Detail: fmt.Sprintf("until %d", at),
 			})
+			if nw.sim.tracer != nil {
+				nw.traceFault(now, "defer", from, to)
+			}
 		}
 		if nw.fifo {
 			nw.lastOut[link] = at
@@ -239,6 +255,12 @@ func (nw *Network) sendNow(from, to int, payload any) {
 	// Flat delivery event: the message rides in the heap entry itself,
 	// so the hot send path performs no closure or node allocation.
 	nw.sim.schedule(d, event{kind: evDeliver, nw: nw, msg: m})
+	if tr := nw.sim.tracer; tr != nil && tr.Sampled(trace.KSend, nw.sim.seq) {
+		tr.Emit(trace.Event{
+			VT: nw.sim.now, Seq: nw.sim.seq, Kind: trace.KSend, Shard: -1, P: from,
+			Detail: fmt.Sprintf("->%d", to),
+		})
+	}
 }
 
 // deliver runs the delivery of m at its destination (called by the
@@ -250,6 +272,9 @@ func (nw *Network) deliver(m Message) {
 		nw.dropped++
 		if nw.logFaults {
 			nw.faultLog = append(nw.faultLog, FaultEvent{Time: nw.sim.Now(), Kind: "crashloss", From: m.From, To: m.To})
+		}
+		if nw.sim.tracer != nil {
+			nw.traceFault(nw.sim.Now(), "crashloss", m.From, m.To)
 		}
 		return
 	}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // This file implements the sharded execution engine: the scheduler's
@@ -97,6 +100,13 @@ type engine struct {
 	// onBarrier hooks run after every batch commit (the history
 	// recorder flushes its staged communication events here).
 	onBarrier []func()
+
+	// batches counts parallel batches run; shardDelivered, when metrics
+	// are attached, tallies staged deliveries per shard across the run
+	// (both feed the snapshot's k-specific Sharding section, never the
+	// digest-covered core).
+	batches        int64
+	shardDelivered []int64
 }
 
 // newEngine builds the engine for k shards over nw.
@@ -138,12 +148,22 @@ func (eng *engine) run(until int64, bump bool) int {
 		if !ok || t > until {
 			break
 		}
-		n += eng.runTimestamp(t)
+		if eng.sim.metrics != nil {
+			eng.sim.metrics.Tick(t)
+		}
+		// stepped advances per timestamp so the sim.steps probe reads
+		// the same value at every sample boundary as the serial loop
+		// (boundaries are always crossed between timestamps).
+		k := eng.runTimestamp(t)
+		eng.sim.stepped += k
+		n += k
 	}
 	if bump && eng.sim.now < until {
 		eng.sim.now = until
 	}
-	eng.sim.stepped += n
+	if eng.sim.metrics != nil && until != maxTime {
+		eng.sim.metrics.Tick(until)
+	}
 	return n
 }
 
@@ -185,6 +205,10 @@ func (eng *engine) runTimestamp(t int64) int {
 			// No shard delivery precedes the global event: run it
 			// serially with immediate effects (the shards=1 path).
 			e := heapPop(&s.pq)
+			s.curSeq = e.seq
+			if s.tracer != nil {
+				s.traceExec(&e)
+			}
 			if e.kind == evDeliver {
 				e.nw.deliver(e.msg)
 			} else {
@@ -204,6 +228,11 @@ func (eng *engine) runTimestamp(t int64) int {
 // shard still runs on the staging path — the code path must not depend
 // on how the batch happened to distribute, only on event order.
 func (eng *engine) runBatch() {
+	eng.batches++
+	tr := eng.sim.tracer
+	if tr != nil {
+		tr.Emit(trace.Event{VT: eng.sim.now, Seq: eng.batches, Kind: trace.KEpoch, Shard: -1})
+	}
 	eng.inParallel = true
 	var wg sync.WaitGroup
 	var panicked any
@@ -228,14 +257,35 @@ func (eng *engine) runBatch() {
 			st := &eng.stages[sh]
 			for i := range evs {
 				st.curTag = evs[i].seq
-				eng.nw.deliverSharded(evs[i].msg, st)
+				if tr != nil && tr.Sampled(trace.KDeliver, evs[i].seq) {
+					tr.EmitStaged(sh, trace.Event{VT: evs[i].time, Seq: evs[i].seq, Kind: trace.KDeliver, Shard: sh, P: evs[i].msg.To})
+				}
+				eng.nw.deliverSharded(evs[i].msg, sh, st)
 			}
 		}(sh, evs)
+	}
+	// The merge-barrier stall — the coordinator blocked on the slowest
+	// worker — is the sharded scheduler's headline overhead; measure it
+	// only when someone is looking (wall time is non-deterministic and
+	// stays out of the digest-covered sections).
+	measure := eng.sim.metrics != nil || tr != nil
+	var start time.Time
+	if measure {
+		start = time.Now()
 	}
 	wg.Wait()
 	eng.inParallel = false
 	if panicked != nil {
 		panic(panicked)
+	}
+	if measure {
+		stall := int64(time.Since(start))
+		if eng.sim.metrics != nil {
+			eng.sim.metrics.AddTiming("merge.stall.ns", stall)
+		}
+		if tr != nil {
+			tr.Emit(trace.Event{VT: eng.sim.now, Seq: eng.batches, Kind: trace.KStall, Shard: -1, Wall: stall})
+		}
 	}
 	eng.commit()
 }
@@ -264,6 +314,9 @@ func (eng *engine) commit() {
 		st := &eng.stages[best]
 		it := &st.items[st.pos]
 		st.pos++
+		// Replayed effects execute under their spawning delivery's seq,
+		// so fault trace events are stamped as a serial run would.
+		eng.sim.curSeq = it.tag
 		switch it.kind {
 		case stSend:
 			eng.nw.sendNow(it.from, it.to, it.payload)
@@ -275,11 +328,17 @@ func (eng *engine) commit() {
 		st := &eng.stages[sh]
 		eng.nw.delivered += st.delivered
 		eng.nw.dropped += st.dropped
+		if eng.shardDelivered != nil {
+			eng.shardDelivered[sh] += int64(st.delivered)
+		}
 		for i := range st.items {
 			st.items[i] = stagedItem{} // release payload references
 		}
 		st.items = st.items[:0]
 		st.pos, st.delivered, st.dropped = 0, 0, 0
+	}
+	if tr := eng.sim.tracer; tr != nil {
+		tr.Commit()
 	}
 	for _, hook := range eng.onBarrier {
 		hook()
@@ -319,6 +378,9 @@ func (nw *Network) EnableSharding(k int) {
 	eng := newEngine(nw, k)
 	nw.eng = eng
 	nw.sim.eng = eng
+	if tr := nw.sim.tracer; tr != nil {
+		tr.SetShards(k)
+	}
 }
 
 // Shards reports the number of shards in use (1 = serial scheduler).
@@ -367,13 +429,19 @@ func (nw *Network) safeShard(p int) (int, bool) {
 // deliverSharded is deliver for the parallel phase: counters and
 // crash-loss fault events are staged instead of applied, and handlers
 // run under the shard-safety contract.
-func (nw *Network) deliverSharded(m Message, st *shardState) {
+func (nw *Network) deliverSharded(m Message, sh int, st *shardState) {
 	if nw.sched.DownAt(nw.sim.now, m.To) {
 		st.dropped++
 		if nw.logFaults {
 			st.items = append(st.items, stagedItem{
 				tag: st.curTag, kind: stNote,
 				note: FaultEvent{Time: nw.sim.now, Kind: "crashloss", From: m.From, To: m.To},
+			})
+		}
+		if tr := nw.sim.tracer; tr != nil {
+			tr.EmitStaged(sh, trace.Event{
+				VT: nw.sim.now, Seq: st.curTag, Kind: trace.KFault, Shard: sh, P: m.To,
+				Detail: fmt.Sprintf("crashloss %d->%d", m.From, m.To),
 			})
 		}
 		return

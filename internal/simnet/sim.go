@@ -15,7 +15,9 @@ package simnet
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/tape"
+	"repro/internal/trace"
 )
 
 // eventKind tags the payload of a scheduled event.
@@ -72,6 +74,16 @@ type Sim struct {
 	// scheduler — the default, and the reference semantics the engine
 	// must reproduce byte-for-byte.
 	eng *engine
+
+	// metrics/tracer, when non-nil, observe the run (observe.go). Both
+	// are strictly passive: they never schedule, draw randomness, or
+	// mutate simulation state. curSeq is the sequence number of the
+	// event currently executing (or, during barrier commit, the tag of
+	// the staged effect being replayed) — it stamps fault trace events
+	// identically across shard counts.
+	metrics *metrics.Registry
+	tracer  *trace.Tracer
+	curSeq  int64
 }
 
 // NewSim creates a simulator whose randomness derives from seed.
@@ -185,6 +197,10 @@ func (s *Sim) At(t int64, fn func()) {
 func (s *Sim) step() {
 	e := s.pop()
 	s.now = e.time
+	s.curSeq = e.seq
+	if s.tracer != nil {
+		s.traceExec(&e)
+	}
 	if e.kind == evDeliver {
 		e.nw.deliver(e.msg)
 	} else {
@@ -201,11 +217,17 @@ func (s *Sim) Run(until int64) int {
 	}
 	n := 0
 	for len(s.pq) > 0 && s.pq[0].time <= until {
+		if s.metrics != nil {
+			s.metrics.Tick(s.pq[0].time)
+		}
 		s.step()
 		n++
 	}
 	if s.now < until {
 		s.now = until
+	}
+	if s.metrics != nil {
+		s.metrics.Tick(until)
 	}
 	return n
 }
@@ -218,6 +240,9 @@ func (s *Sim) RunUntilIdle() int {
 	}
 	n := 0
 	for len(s.pq) > 0 {
+		if s.metrics != nil {
+			s.metrics.Tick(s.pq[0].time)
+		}
 		s.step()
 		n++
 	}
