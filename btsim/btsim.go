@@ -111,6 +111,9 @@ func (s *sysFunc) Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("btsim: %s: %w", s.info.Name, err)
 	}
 	res.Info = s.info
+	if res.Live != nil && res.Metrics == nil {
+		res.Metrics = res.Live.Metrics
+	}
 	if cfg.monrun != nil {
 		cfg.monrun.finish(res)
 	}

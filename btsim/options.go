@@ -3,6 +3,7 @@ package btsim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/consistency"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/protocols"
 	"repro/internal/simnet"
 	"repro/internal/tape"
+	"repro/internal/transport"
 )
 
 // NoHeal, as a Fault.End value, makes the cut permanent: messages
@@ -238,6 +240,38 @@ type Config struct {
 	TraceW io.Writer
 	// TraceOpts tunes the trace (sampling, retention cap, format).
 	TraceOpts TraceOptions
+	// Live switches the run from a deterministic simulation to a real
+	// concurrent deployment: N nodes hosting the system's replicas over
+	// a live carrier, wall-clock timers, concurrent client load, and an
+	// online consistency monitor attached over the totally ordered op
+	// feed. The run is NOT deterministic (no replay digest pinning);
+	// Result.Live carries the measured throughput, latency quantiles
+	// and finalized online verdicts. See WithLive.
+	Live bool
+	// LiveTransport names the live carrier: "chan" (in-process,
+	// default) or "tcp" (length-prefixed frames over loopback TCP).
+	LiveTransport string
+	// LiveClients / LiveRate shape the client load: concurrent
+	// generators (0 means 2) and per-client target appends/sec (0 means
+	// closed-loop). See WithLoad.
+	LiveClients int
+	LiveRate    float64
+	// LiveDuration bounds the load phase in wall time; LiveAppends in
+	// granted appends. At least one must be set for a live run.
+	LiveDuration time.Duration
+	LiveAppends  int64
+	// LiveSpray round-robins appends across all nodes instead of the
+	// single-writer default (prodigal systems only get real fork
+	// pressure this way; sequencer systems pin node 0 regardless).
+	LiveSpray bool
+	// LiveCrash schedules one crash/restart during the live load.
+	LiveCrash *LiveCrash
+	// LiveK, when > 0, adds the k-Fork Coherence report to the live
+	// monitor's output.
+	LiveK int
+	// LiveWitness streams every live violation witness as the online
+	// monitor forms it.
+	LiveWitness func(consistency.Witness)
 
 	// system is stamped by System.Run before the adapter sees the
 	// Config, so Base can label Progress events.
@@ -250,6 +284,16 @@ type Config struct {
 	// created by System.Run when Metrics is on — same pattern as
 	// monrun.
 	obsrun *obsRun
+}
+
+// LiveCrash schedules one crash/restart during a live run: the node
+// goes down After into the load for Downtime, then restarts — from its
+// durable snapshot when Durable, from genesis (amnesia) otherwise —
+// and catches up through the anti-entropy layer.
+type LiveCrash struct {
+	Node            int
+	After, Downtime time.Duration
+	Durable         bool
 }
 
 // Option mutates a Config; build one with NewConfig or pass options
@@ -427,6 +471,69 @@ func WithTrace(w io.Writer, opts TraceOptions) Option {
 	}
 }
 
+// WithLive switches the run to a real concurrent deployment over the
+// named carrier — "chan" (in-process channels, the fast default) or
+// "tcp" (length-prefixed frames over loopback TCP). Live runs host N
+// replica nodes on wall-clock timers, drive them with concurrent client
+// load (WithLoad), attach the online consistency monitor over the
+// totally ordered operation feed, and report throughput, latency
+// quantiles and the finalized verdicts in Result.Live. Bound the load
+// with WithLiveDuration and/or WithLiveAppends (at least one is
+// required). Live runs are not deterministic — the simulation-only
+// knobs (faults, crash windows, adversaries, drops, sharding, monitor,
+// streaming, metrics, trace, observer) are rejected.
+func WithLive(carrier string) Option {
+	return func(c *Config) {
+		c.Live = true
+		c.LiveTransport = carrier
+	}
+}
+
+// WithLoad shapes a live run's client load: `clients` concurrent
+// generators (0 means 2) each targeting `rate` appends/sec (0 means
+// closed-loop: submit as soon as the last operation completes).
+func WithLoad(clients int, rate float64) Option {
+	return func(c *Config) {
+		c.LiveClients = clients
+		c.LiveRate = rate
+	}
+}
+
+// WithLiveDuration bounds a live run's load phase in wall time.
+func WithLiveDuration(d time.Duration) Option {
+	return func(c *Config) { c.LiveDuration = d }
+}
+
+// WithLiveAppends bounds a live run's load phase in granted appends —
+// the deterministic-progress bound tests use.
+func WithLiveAppends(max int64) Option {
+	return func(c *Config) { c.LiveAppends = max }
+}
+
+// WithLiveSpray round-robins live appends across all nodes instead of
+// the single-writer default.
+func WithLiveSpray() Option {
+	return func(c *Config) { c.LiveSpray = true }
+}
+
+// WithLiveCrash schedules one crash/restart during the live load.
+func WithLiveCrash(crash LiveCrash) Option {
+	return func(c *Config) { c.LiveCrash = &crash }
+}
+
+// WithLiveK adds the k-Fork Coherence report to a live run's monitor
+// output.
+func WithLiveK(k int) Option {
+	return func(c *Config) { c.LiveK = k }
+}
+
+// WithLiveWitness streams every live violation witness as the online
+// monitor forms it (called from the monitor consumer goroutine; keep it
+// fast).
+func WithLiveWitness(fn func(consistency.Witness)) Option {
+	return func(c *Config) { c.LiveWitness = fn }
+}
+
 // validate rejects configurations no system can run.
 func (c Config) validate() error {
 	if c.N < 0 {
@@ -484,6 +591,46 @@ func (c Config) validate() error {
 	}
 	if c.TraceOpts.Limit < 0 {
 		return fmt.Errorf("negative trace Limit %d", c.TraceOpts.Limit)
+	}
+	if c.Live {
+		switch c.LiveTransport {
+		case "", "chan", "tcp":
+		default:
+			return fmt.Errorf("unknown live transport %q (known: chan, tcp)", c.LiveTransport)
+		}
+		if c.LiveDuration <= 0 && c.LiveAppends <= 0 {
+			return fmt.Errorf("live run needs WithLiveDuration or WithLiveAppends")
+		}
+		// A live run owns its monitor and its metrics, and nothing about
+		// it is deterministic — every simulation-only knob is rejected so
+		// a caller cannot silently get a run that ignores half its options.
+		switch {
+		case c.Monitor || c.Streaming:
+			return fmt.Errorf("live runs attach their own online monitor (drop WithMonitor/WithStreaming; use WithLiveWitness/WithLiveK)")
+		case c.Metrics || c.MetricsEvery > 0 || c.TraceW != nil:
+			return fmt.Errorf("live runs measure their own metrics (drop WithMetrics/WithTrace; see Result.Live)")
+		case len(c.Faults) > 0 || len(c.Crashes) > 0 || c.Drop != nil:
+			return fmt.Errorf("live runs take no simulated fault schedule (use WithLiveCrash)")
+		case c.Adversary.Strategy != "":
+			return fmt.Errorf("live runs do not support adversaries")
+		case c.Observer != nil:
+			return fmt.Errorf("live runs do not support WithObserver (use WithLiveWitness)")
+		case c.Shards > 1:
+			return fmt.Errorf("live runs are already concurrent (drop WithShards)")
+		}
+		if c.LiveCrash != nil {
+			n := c.N
+			if n <= 0 {
+				n = 4
+			}
+			if c.LiveCrash.Node < 0 || c.LiveCrash.Node >= n {
+				return fmt.Errorf("live crash node %d out of range [0,%d)", c.LiveCrash.Node, n)
+			}
+		}
+	} else if c.LiveTransport != "" || c.LiveClients > 0 || c.LiveRate > 0 ||
+		c.LiveDuration > 0 || c.LiveAppends > 0 || c.LiveSpray ||
+		c.LiveCrash != nil || c.LiveK > 0 || c.LiveWitness != nil {
+		return fmt.Errorf("live load options require WithLive")
 	}
 	return nil
 }
@@ -559,6 +706,27 @@ func (c Config) Base() protocols.Config {
 	if c.obsrun != nil {
 		pc.Metrics = c.obsrun.reg
 		pc.Trace = c.obsrun.tr
+	}
+	if c.Live {
+		lc := &transport.LiveConfig{
+			Transport:  c.LiveTransport,
+			Clients:    c.LiveClients,
+			Rate:       c.LiveRate,
+			Duration:   c.LiveDuration,
+			MaxAppends: c.LiveAppends,
+			Spray:      c.LiveSpray,
+			K:          c.LiveK,
+			OnWitness:  c.LiveWitness,
+		}
+		if c.LiveCrash != nil {
+			lc.Crash = &transport.CrashSpec{
+				Node:     c.LiveCrash.Node,
+				After:    c.LiveCrash.After,
+				Downtime: c.LiveCrash.Downtime,
+				Durable:  c.LiveCrash.Durable,
+			}
+		}
+		pc.Live = lc
 	}
 	return pc
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/protocols"
+	"repro/internal/transport"
 )
 
 // Result is one fully recorded run of a registered system. It embeds
@@ -34,6 +35,13 @@ type Result struct {
 	// deterministic across shard counts; the Sharding and Timing
 	// sections carry the k-specific and wall-clock readings.
 	Metrics *metrics.Snapshot
+	// Live carries the deployment measurements of a WithLive run (nil
+	// otherwise): sustained appends/sec, client-observed latency
+	// histograms, the online monitor's finalized verdicts, carrier
+	// counters and crash-recovery stats. The embedded Result fields
+	// (History, Trees, Creators, ...) hold the live run's evidence, so
+	// Check(), KFork() and the renderers work on it unchanged.
+	Live *transport.LiveResult
 }
 
 // Check classifies the recorded history against both consistency

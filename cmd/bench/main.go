@@ -6,7 +6,12 @@
 // Usage:
 //
 //	go run ./cmd/bench [-dir .] [-out name.json] [-count 1] [-filter substring] [-label note] [-compare]
-//	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                   [-fail-over pct] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -fail-over turns the vs-previous comparison into a CI gate: when any
+// case's wall time regresses more than the given percentage against the
+// most recent snapshot, the command exits non-zero after printing the
+// offending cases.
 //
 // Besides wall time and cumulative allocations, every entry records its
 // peak live heap (sampled concurrently during the run): the batch and
@@ -108,6 +113,7 @@ func main() {
 	filter := flag.String("filter", "", "run only cases whose name contains this substring")
 	label := flag.String("label", "", "free-form note stored in the snapshot")
 	compare := flag.Bool("compare", true, "report batch-vs-stream pairs: wall time alongside peak memory")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when any case's wall time regresses more than this percentage vs the previous snapshot (0 = disabled)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the last case) to this file")
 	flag.Parse()
@@ -223,6 +229,7 @@ func main() {
 	for _, e := range prev.Entries {
 		byName[e.Name] = e
 	}
+	var regressed []string
 	current := make(map[string]bool, len(snap.Entries))
 	for _, e := range snap.Entries {
 		current[e.Name] = true
@@ -231,10 +238,15 @@ func main() {
 			fmt.Printf("%-32s (new)\n", e.Name)
 			continue
 		}
+		d := delta(e.NsPerOp, p.NsPerOp)
 		line := fmt.Sprintf("%-32s time %+7.1f%%   allocs %+7.1f%%",
-			e.Name, delta(e.NsPerOp, p.NsPerOp), delta(float64(e.AllocsPerOp), float64(p.AllocsPerOp)))
+			e.Name, d, delta(float64(e.AllocsPerOp), float64(p.AllocsPerOp)))
 		if e.PeakBytes > 0 && p.PeakBytes > 0 {
 			line += fmt.Sprintf("   peak %+7.1f%%", delta(float64(e.PeakBytes), float64(p.PeakBytes)))
+		}
+		if *failOver > 0 && d > *failOver {
+			line += "   ** REGRESSION **"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% > %+.1f%%)", e.Name, d, *failOver))
 		}
 		fmt.Println(line)
 	}
@@ -245,6 +257,16 @@ func main() {
 		if !current[p.Name] {
 			fmt.Printf("%-32s (removed; was %s)\n", p.Name, dur(p.NsPerOp))
 		}
+	}
+	// The -fail-over gate: a CI step runs `bench -fail-over 20` after
+	// performance-relevant changes and fails the build on a wall-time
+	// regression beyond the threshold.
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbench: %d case(s) regressed beyond the -fail-over threshold:\n", len(regressed))
+		for _, r := range regressed {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
 	}
 }
 

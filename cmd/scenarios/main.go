@@ -12,8 +12,8 @@
 //
 // Usage:
 //
-//	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check] [-stream] [-long full|smoke]
-//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	scenarios [-list] [-only substr] [-seed N] [-sweep K] [-workers W] [-v] [-check] [-stream] [-json]
+//	          [-long full|smoke] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -list prints the catalogue and the registered systems; -seed
 // overrides every pinned seed; -sweep K re-runs each scenario at K
@@ -21,21 +21,26 @@
 // broke; -check exits non-zero when a scenario fails to measure a
 // violation the paper predicts (CI smoke); -stream checks every
 // scenario with the online consistency monitor and exits non-zero if
-// any outcome diverges from batch Classify; -long runs the
+// any outcome diverges from batch Classify; -json emits the matrix as
+// machine-readable JSON (one object per run, with per-property
+// verdicts and witnesses) instead of the rendered tables; -long runs the
 // streaming-only ≥1M-op scenario ("smoke" is the scaled CI variant);
 // -cpuprofile/-memprofile write pprof profiles of the whole invocation
 // (see SCALING.md's profiling workflow).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 
 	"repro/btsim"
+	"repro/internal/consistency"
 	"repro/internal/scenario"
 )
 
@@ -47,6 +52,7 @@ func main() {
 	workers := flag.Int("workers", 4, "parallel runs during -sweep")
 	verbose := flag.Bool("v", false, "print every witness and the fault-event log")
 	check := flag.Bool("check", false, "exit 1 if a predicted violation goes unmeasured")
+	jsonOut := flag.Bool("json", false, "emit the violation matrix as JSON instead of the rendered tables")
 	stream := flag.Bool("stream", false, "check with the online monitor and diff every outcome against batch Classify")
 	long := flag.String("long", "", `run the streaming-only long-run scenario: "full" (≥1M ops) or "smoke" (CI scale)`)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the invocation to this file")
@@ -125,6 +131,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(2)
+		}
+		if *check && failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Print(scenario.Matrix(outs))
 	fmt.Println()
 	for _, o := range outs {
@@ -174,6 +191,86 @@ func main() {
 	if *check && failed {
 		os.Exit(1)
 	}
+}
+
+// jsonOutcome is the machine-readable row of the violation matrix: one
+// object per (system, adversary, fault schedule) run, with per-property
+// verdicts under each criterion and the first witness of every violated
+// property. The shape is stable for dashboards and CI diffing.
+type jsonOutcome struct {
+	Name         string            `json:"name"`
+	System       string            `json:"system"`
+	Adversary    string            `json:"adversary"`
+	Seed         uint64            `json:"seed"`
+	Digest       string            `json:"digest"`
+	Note         string            `json:"note,omitempty"`
+	ExpectBroken []string          `json:"expect_broken,omitempty"`
+	SCOK         bool              `json:"sc_ok"`
+	ECOK         bool              `json:"ec_ok"`
+	Properties   []jsonProperty    `json:"properties"`
+	KFork        *jsonProperty     `json:"k_fork,omitempty"`
+	Violated     []string          `json:"violated,omitempty"`
+	Missing      []string          `json:"missing_expected,omitempty"`
+	Witnesses    map[string]string `json:"witnesses,omitempty"`
+}
+
+// jsonProperty is one property verdict with the criterion it was
+// checked under and the number of atomic facts examined.
+type jsonProperty struct {
+	Criterion string `json:"criterion"`
+	Property  string `json:"property"`
+	OK        bool   `json:"ok"`
+	Checked   int    `json:"checked"`
+}
+
+func writeJSON(w io.Writer, outs []*scenario.Outcome) error {
+	rows := make([]jsonOutcome, 0, len(outs))
+	for _, o := range outs {
+		row := jsonOutcome{
+			Name:         o.Spec.Name,
+			System:       o.Spec.System,
+			Adversary:    o.Res.AdversaryName,
+			Seed:         o.Seed,
+			Digest:       o.Digest,
+			Note:         o.Spec.Note,
+			ExpectBroken: o.Spec.ExpectBroken,
+			SCOK:         o.SC.OK,
+			ECOK:         o.EC.OK,
+			Violated:     o.Violated,
+			Missing:      o.MissingExpected(),
+		}
+		for _, pair := range []struct {
+			crit    string
+			reports []*consistency.Report
+		}{{"SC", o.SC.Reports}, {"EC", o.EC.Reports}} {
+			for _, rep := range pair.reports {
+				row.Properties = append(row.Properties, jsonProperty{
+					Criterion: pair.crit,
+					Property:  rep.Property,
+					OK:        rep.OK,
+					Checked:   rep.Checked,
+				})
+			}
+		}
+		if o.KFork != nil {
+			row.KFork = &jsonProperty{
+				Criterion: "k-fork",
+				Property:  o.KFork.Property,
+				OK:        o.KFork.OK,
+				Checked:   o.KFork.Checked,
+			}
+		}
+		if len(o.Witnesses) > 0 {
+			row.Witnesses = make(map[string]string, len(o.Witnesses))
+			for prop, wit := range o.Witnesses {
+				row.Witnesses[prop] = wit.Detail
+			}
+		}
+		rows = append(rows, row)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // runLong executes the streaming-only long-run scenario — the ≥1M-op

@@ -46,7 +46,9 @@ func RunSimScaleStream(cfg ScaleConfig) ScaleStats {
 
 	runBenignWorkload(sim, g, cfg)
 
-	async.Drain()
+	if err := async.Drain(); err != nil {
+		panic(err) // a panicking monitor invalidates the whole streamed run
+	}
 	seg.Seal()
 	for _, op := range g.Rec.PendingOps() {
 		mon.OpPending(op)

@@ -1,5 +1,7 @@
 package history
 
+import "fmt"
+
 // AsyncSink decouples sink consumption from the recording hot loop: the
 // Recorder invokes sinks under its lock, so an expensive consumer (a
 // segmenting monitor checking consistency online) stretches every
@@ -27,6 +29,11 @@ type AsyncSink struct {
 	// they surface in the metrics Timing section — never the digest.
 	highWater int
 	blocked   int64
+
+	// err records the first consumer panic. Written only by the
+	// consumer goroutine; the done-channel close orders it before any
+	// read in Drain.
+	err error
 }
 
 // asyncEvent is one queued sink invocation (a tagged union, smallest
@@ -55,14 +62,30 @@ func NewAsyncSink(inner Sink, buf int) *AsyncSink {
 func (s *AsyncSink) consume() {
 	defer close(s.done)
 	for e := range s.ch {
-		switch e.kind {
-		case 0:
-			s.inner.OpDone(e.op)
-		case 1:
-			s.inner.CommDone(e.comm)
-		default:
-			s.inner.Faulty(e.p)
+		if s.err != nil {
+			continue // consumer failed: keep draining so producers never block
 		}
+		s.deliver(e)
+	}
+}
+
+// deliver replays one event into the inner sink, converting a panic into
+// the sink's error state instead of killing the consumer goroutine — a
+// dead consumer would leave every later producer blocked on a full
+// queue, which live (wall-clock concurrent) recording cannot tolerate.
+func (s *AsyncSink) deliver(e asyncEvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("history: async sink consumer panicked: %v", r)
+		}
+	}()
+	switch e.kind {
+	case 0:
+		s.inner.OpDone(e.op)
+	case 1:
+		s.inner.CommDone(e.comm)
+	default:
+		s.inner.Faulty(e.p)
 	}
 }
 
@@ -94,8 +117,12 @@ func (s *AsyncSink) QueueStats() (highWater int, blocked int64, capacity int) {
 
 // Drain flushes the queue and stops the consumer. It must be called
 // exactly once, after recording has stopped and before any downstream
-// state (monitor verdicts, sealed segments) is read.
-func (s *AsyncSink) Drain() {
+// state (monitor verdicts, sealed segments) is read. It returns the
+// first error the consumer hit (a recovered panic in the inner sink);
+// on error the remaining queued events were discarded, so downstream
+// state is incomplete and must not be trusted.
+func (s *AsyncSink) Drain() error {
 	close(s.ch)
 	<-s.done
+	return s.err
 }

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -92,7 +93,11 @@ func TestAsyncSinkSegmentedEquivalence(t *testing.T) {
 	direct := build(func(s Sink) (Sink, func()) { return s, func() {} })
 	async := build(func(s Sink) (Sink, func()) {
 		as := NewAsyncSink(s, 0)
-		return as, as.Drain
+		return as, func() {
+			if err := as.Drain(); err != nil {
+				t.Fatalf("Drain: %v", err)
+			}
+		}
 	})
 
 	if len(direct.Ops) != len(async.Ops) {
@@ -183,6 +188,50 @@ func TestAsyncSinkDrainAfterCrashWindow(t *testing.T) {
 	// Drain is terminal: the stats are stable and readable afterwards.
 	if high, _, _ := as.QueueStats(); high < 0 {
 		t.Fatalf("queue stats unreadable after Drain (high=%d)", high)
+	}
+}
+
+// panicSink panics on the nth OpDone it receives; everything before
+// that is recorded normally.
+type panicSink struct {
+	orderSink
+	panicAt int
+	n       int
+}
+
+func (s *panicSink) OpDone(op *Op) {
+	s.n++
+	if s.n == s.panicAt {
+		panic("consumer exploded mid-drain")
+	}
+	s.orderSink.OpDone(op)
+}
+
+// TestAsyncSinkConsumerPanic pins the error path live recording made
+// reachable: a consumer that panics mid-drain must not kill the
+// consumer goroutine (producers would deadlock on a full queue) and
+// must not stay silent — Drain surfaces the recovered panic, and the
+// events queued after the failure are discarded, not delivered.
+func TestAsyncSinkConsumerPanic(t *testing.T) {
+	inner := &panicSink{panicAt: 3}
+	as := NewAsyncSink(inner, 2) // tiny queue: producers outrun the failure point
+	rec := NewRecorder(1, nil)
+	rec.SetSink(as)
+	rec.SetRetain(false)
+
+	c := streamChain(rec, 10)
+	for _, b := range c[1:] {
+		rec.Append(0, b, true) // must never block forever on the dead consumer
+	}
+	err := as.Drain()
+	if err == nil {
+		t.Fatal("Drain returned nil after the consumer panicked")
+	}
+	if want := "consumer exploded mid-drain"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Drain error %q does not carry the panic value %q", err, want)
+	}
+	if got := len(inner.events); got != inner.panicAt-1 {
+		t.Fatalf("consumer saw %d events after the panic, want the %d pre-panic ones only", got, inner.panicAt-1)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash"
 	"hash/fnv"
+	"math"
 	"sort"
 )
 
@@ -21,6 +22,49 @@ type HistSnapshot struct {
 	Counts []int64 `json:"counts"` // len(Bounds)+1
 	N      int64   `json:"n"`
 	Sum    int64   `json:"sum"`
+}
+
+// Quantile estimates the q-th quantile at bucket resolution: the upper
+// bound of the first bucket at which the cumulative count reaches
+// q·N. Observations in the +Inf overflow bucket report the largest
+// finite bound (the best available lower estimate). q is clamped to
+// [0, 1]; an empty histogram reports 0.
+func (hs *HistSnapshot) Quantile(q float64) int64 {
+	if hs.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(hs.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range hs.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(hs.Bounds) {
+				return hs.Bounds[i]
+			}
+			break
+		}
+	}
+	if len(hs.Bounds) > 0 {
+		return hs.Bounds[len(hs.Bounds)-1]
+	}
+	return hs.Sum / hs.N
+}
+
+// Mean returns the average observation (0 when empty).
+func (hs *HistSnapshot) Mean() int64 {
+	if hs.N == 0 {
+		return 0
+	}
+	return hs.Sum / hs.N
 }
 
 // Series is the sampled gauge table: one column per probe, one row per

@@ -1,0 +1,44 @@
+package algorand
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile builds the live-deployment profile: the per-height BA*
+// agreement collapses onto the sequencer policy (only the proposer of
+// the height consumes its token), sortition is the frugal oracle's
+// lottery, and MineToken retries a lost draw as the real proposer
+// re-runs sortition.
+func LiveProfile(cfg Config) transport.Profile {
+	merits := cfg.Norm()
+	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {
+		if a <= 0 {
+			return 0
+		}
+		return 0.9 // sortition succeeds quickly for the selected proposer
+	}, core.WellFormed{}, cfg.Seed^0xa16042ad)
+	return transport.Profile{
+		System:         "Algorand",
+		Selector:       core.LongestChain{},
+		Score:          core.LengthScore{},
+		Predicate:      core.WellFormed{},
+		OracleClaim:    "ΘF,k=1 (w.h.p.)",
+		PaperCriterion: "SC w.h.p.",
+		Sequencer:      true,
+		Mint: func(proc int, parent *core.Block, seq int) *core.Block {
+			b, _ := oracle.MineToken(orc, merits[proc], parent, proc, parent.Height,
+				protocols.CoinbasePayload(proc, seq), 1<<10)
+			if b == nil {
+				return nil
+			}
+			if _, consumed := orc.ConsumeToken(b); !consumed {
+				return nil
+			}
+			return b
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package bftchain
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile builds the live-deployment profile shared by the BFT
+// chain family (ByzCoin, PeerCensus, Red Belly): the per-height PBFT
+// decision collapses onto the sequencer policy — every append routes
+// through node 0, whose consumed height token is the consensus decision
+// — and the frugal oracle with k = 1 admits exactly one block per
+// height, as in the simulator.
+func LiveProfile(cfg Config) transport.Profile {
+	merits := cfg.Norm()
+	if cfg.System == "" {
+		cfg.System = "BFTChain"
+	}
+	meritOf := cfg.MeritOf
+	if meritOf == nil {
+		meritOf = func(p int) tape.Merit { return merits[p] }
+	}
+	orc := oracle.NewFrugal(1, func(a tape.Merit) float64 {
+		if a <= 0 {
+			return 0
+		}
+		return 0.5
+	}, core.WellFormed{}, cfg.Seed^0xbf7c4a11)
+	return transport.Profile{
+		System:         cfg.System,
+		Selector:       core.SingleChain{},
+		Score:          core.LengthScore{},
+		Predicate:      core.WellFormed{},
+		OracleClaim:    "ΘF,k=1",
+		PaperCriterion: "SC",
+		Sequencer:      true,
+		Mint: func(proc int, parent *core.Block, seq int) *core.Block {
+			m := meritOf(proc)
+			if m <= 0 {
+				return nil // not allowed to propose (outside M)
+			}
+			b, _ := oracle.MineToken(orc, m, parent, proc, parent.Height,
+				protocols.CoinbasePayload(proc, seq), 1<<12)
+			if b == nil {
+				return nil
+			}
+			if _, consumed := orc.ConsumeToken(b); !consumed {
+				return nil
+			}
+			return b
+		},
+	}
+}

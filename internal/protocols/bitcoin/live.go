@@ -1,0 +1,40 @@
+package bitcoin
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile builds the live-deployment profile: the same prodigal
+// PoW oracle, longest-chain selection and validity predicate the
+// simulator runs, with the globally unique attempt sequence standing in
+// for the mining round. The oracle is mutex-guarded, so concurrent
+// mints from sprayed append targets are safe.
+func LiveProfile(cfg Config) transport.Profile {
+	merits := cfg.Norm()
+	if cfg.Difficulty <= 0 {
+		cfg.Difficulty = 8
+	}
+	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xb17c011)
+	return transport.Profile{
+		System:         "Bitcoin",
+		Selector:       core.LongestChain{},
+		Score:          core.LengthScore{},
+		Predicate:      core.WellFormed{},
+		OracleClaim:    "ΘP",
+		PaperCriterion: "EC",
+		Mint: func(proc int, parent *core.Block, seq int) *core.Block {
+			b, ok := orc.GetToken(merits[proc], parent, proc, seq, protocols.CoinbasePayload(proc, seq))
+			if !ok {
+				return nil
+			}
+			if _, consumed := orc.ConsumeToken(b); !consumed {
+				return nil
+			}
+			return b
+		},
+	}
+}

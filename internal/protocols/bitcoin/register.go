@@ -1,6 +1,9 @@
 package bitcoin
 
-import "repro/btsim"
+import (
+	"repro/btsim"
+	"repro/internal/protocols"
+)
 
 // The package registers itself with the public btsim registry: import
 // repro/btsim/systems (or this package) for side effects and the system
@@ -16,6 +19,13 @@ func init() {
 	}, func(cfg btsim.Config) (*btsim.Result, error) {
 		c := Config{Difficulty: cfg.Difficulty, Delta: cfg.Delta, DropRule: cfg.DropRule()}
 		c.Config = cfg.Base()
+		if c.Live != nil {
+			res, lr, err := protocols.RunLive(c.Config, LiveProfile(c))
+			if err != nil {
+				return nil, err
+			}
+			return &btsim.Result{Result: res, Live: lr}, nil
+		}
 		return &btsim.Result{Result: Run(c)}, nil
 	}))
 }

@@ -1,0 +1,15 @@
+package byzcoin
+
+import (
+	"repro/internal/protocols/bftchain"
+	"repro/internal/transport"
+)
+
+// LiveProfile reuses the shared BFT-chain live profile under ByzCoin's
+// name (the PoW leader election is a simulation-time concern; live, the
+// height token consumed at the sequencer is the PBFT commit).
+func LiveProfile(cfg Config) transport.Profile {
+	return bftchain.LiveProfile(bftchain.Config{
+		Config: cfg.Config, System: "ByzCoin", Delta: cfg.Delta, Timeout: cfg.Timeout,
+	})
+}

@@ -1,0 +1,37 @@
+package ethereum
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile builds the live-deployment profile: fast-block prodigal
+// PoW with GHOST heaviest-subtree selection, as the simulator runs.
+func LiveProfile(cfg Config) transport.Profile {
+	merits := cfg.Norm()
+	if cfg.Difficulty <= 0 {
+		cfg.Difficulty = 3
+	}
+	orc := oracle.NewProdigal(tape.DifficultyMapping(cfg.Difficulty), core.WellFormed{}, cfg.Seed^0xe7e12e)
+	return transport.Profile{
+		System:         "Ethereum",
+		Selector:       core.GHOST{},
+		Score:          core.LengthScore{},
+		Predicate:      core.WellFormed{},
+		OracleClaim:    "ΘP",
+		PaperCriterion: "EC",
+		Mint: func(proc int, parent *core.Block, seq int) *core.Block {
+			b, ok := orc.GetToken(merits[proc], parent, proc, seq, protocols.CoinbasePayload(proc, seq))
+			if !ok {
+				return nil
+			}
+			if _, consumed := orc.ConsumeToken(b); !consumed {
+				return nil
+			}
+			return b
+		},
+	}
+}

@@ -1,0 +1,37 @@
+package fabric
+
+import (
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/protocols"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile builds the live-deployment profile: the ordering service
+// collapses onto the sequencer policy (every append routes through node
+// 0, the orderer), and each cut consumes the unique height token of the
+// frugal oracle with k = 1 — one block per height, a single chain.
+func LiveProfile(cfg Config) transport.Profile {
+	cfg.Norm()
+	orc := oracle.NewFrugal(1, func(tape.Merit) float64 { return 1 }, core.WellFormed{}, cfg.Seed^0xfab21c)
+	return transport.Profile{
+		System:         "Hyperledger",
+		Selector:       core.SingleChain{},
+		Score:          core.LengthScore{},
+		Predicate:      core.WellFormed{},
+		OracleClaim:    "ΘF,k=1",
+		PaperCriterion: "SC",
+		Sequencer:      true,
+		Mint: func(proc int, parent *core.Block, seq int) *core.Block {
+			b, ok := orc.GetToken(1, parent, proc, parent.Height, protocols.CoinbasePayload(proc, seq))
+			if !ok {
+				return nil
+			}
+			if _, consumed := orc.ConsumeToken(b); !consumed {
+				return nil
+			}
+			return b
+		},
+	}
+}

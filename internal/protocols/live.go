@@ -1,0 +1,50 @@
+package protocols
+
+import "repro/internal/transport"
+
+// RunLive executes the profiled system as a live deployment — N
+// concurrent nodes over a real carrier, client load, online monitor —
+// and lowers the outcome into the same Result shape every simulator
+// returns, so the classifier, renderers and scenario layers work on a
+// live run unchanged. The companion LiveResult carries what only a
+// deployment measures: throughput, latency quantiles, the finalized
+// online verdicts and the carrier counters.
+//
+// N, Seed and the normalized merit column come from cfg (the common
+// knob set); cfg.Live supplies the deployment shape (carrier, load,
+// crash schedule).
+func RunLive(cfg Config, prof transport.Profile) (*Result, *transport.LiveResult, error) {
+	merits := cfg.Norm()
+	var lc transport.LiveConfig
+	if cfg.Live != nil {
+		lc = *cfg.Live
+	}
+	lc.N = cfg.N
+	lc.Seed = cfg.Seed
+	lc.Merits = merits
+
+	lr, err := transport.Run(lc, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{
+		System:         lr.System,
+		History:        lr.History,
+		Creators:       lr.Creators,
+		Trees:          lr.Trees,
+		Selector:       prof.Selector,
+		Score:          prof.Score,
+		OracleClaim:    prof.OracleClaim,
+		PaperCriterion: prof.PaperCriterion,
+		AdversaryName:  "—",
+		Stats: map[string]int{
+			"liveAttempts": int(lr.Attempts),
+			"liveAppends":  int(lr.AppendsOK),
+			"liveReads":    int(lr.Reads),
+		},
+	}
+	res.ExportRecovery(lr.Recovery)
+	res.ComputeForkMax()
+	return res, lr, nil
+}

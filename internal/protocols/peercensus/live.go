@@ -1,0 +1,15 @@
+package peercensus
+
+import (
+	"repro/internal/protocols/bftchain"
+	"repro/internal/transport"
+)
+
+// LiveProfile reuses the shared BFT-chain live profile under
+// PeerCensus's name (committee anchoring picks leaders in simulation;
+// live, the sequencer holds the identity-granting token per height).
+func LiveProfile(cfg Config) transport.Profile {
+	return bftchain.LiveProfile(bftchain.Config{
+		Config: cfg.Config, System: "PeerCensus", Delta: cfg.Delta, Timeout: cfg.Timeout,
+	})
+}

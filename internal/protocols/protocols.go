@@ -20,6 +20,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/tape"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Config is the common knob set. Protocol-specific knobs live in each
@@ -91,6 +92,14 @@ type Config struct {
 	// with deterministic sequence-number sampling. Runners wire it
 	// through ApplyObservability.
 	Trace *trace.Tracer
+	// Live, when set, switches the run from a deterministic simulation
+	// to a real concurrent deployment over internal/transport: N nodes
+	// on wall-clock timers, concurrent client load, and an online
+	// consistency monitor attached over the shared recorder. Register
+	// adapters dispatch to RunLive instead of their simulator when it
+	// is set. N, Seed and Merits are taken from this Config, not from
+	// the LiveConfig.
+	Live *transport.LiveConfig
 
 	// halted latches a false Observer return so every later round is
 	// skipped without consulting the observer again.

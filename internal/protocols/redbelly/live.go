@@ -1,0 +1,28 @@
+package redbelly
+
+import (
+	"repro/internal/protocols/bftchain"
+	"repro/internal/tape"
+	"repro/internal/transport"
+)
+
+// LiveProfile reuses the shared BFT-chain live profile under Red
+// Belly's name, keeping the consortium merit rule: only members of M
+// (the first M processes) may obtain tokens; the sequencer, node 0, is
+// always a member.
+func LiveProfile(cfg Config) transport.Profile {
+	cfg.Norm()
+	if cfg.M <= 0 || cfg.M > cfg.N {
+		cfg.M = cfg.N/2 + 1
+	}
+	m := cfg.M
+	return bftchain.LiveProfile(bftchain.Config{
+		Config: cfg.Config, System: "RedBelly", Delta: cfg.Delta, Timeout: cfg.Timeout,
+		MeritOf: func(proc int) tape.Merit {
+			if proc < m {
+				return tape.Merit(1 / float64(m))
+			}
+			return 0
+		},
+	})
+}

@@ -1,6 +1,9 @@
 package redbelly
 
-import "repro/btsim"
+import (
+	"repro/btsim"
+	"repro/internal/protocols"
+)
 
 func init() {
 	btsim.Register(btsim.NewSystem(btsim.Info{
@@ -13,6 +16,13 @@ func init() {
 	}, func(cfg btsim.Config) (*btsim.Result, error) {
 		c := Config{Delta: cfg.Delta}
 		c.Config = cfg.Base()
+		if c.Live != nil {
+			res, lr, err := protocols.RunLive(c.Config, LiveProfile(c))
+			if err != nil {
+				return nil, err
+			}
+			return &btsim.Result{Result: res, Live: lr}, nil
+		}
 		return &btsim.Result{Result: Run(c)}, nil
 	}))
 }

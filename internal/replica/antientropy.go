@@ -21,20 +21,20 @@ import (
 // the same loss pattern without repair leaves Eventual Consistency
 // broken forever.
 
-// invMsg advertises the sender's current leaves.
-type invMsg struct {
+// InvMsg advertises the sender's current leaves.
+type InvMsg struct {
 	Leaves []core.BlockID
 }
 
-// reqMsg asks the receiver to re-send a block by ID.
-type reqMsg struct {
+// ReqMsg asks the receiver to re-send a block by ID.
+type ReqMsg struct {
 	ID core.BlockID
 }
 
-// syncMsg solicits an immediate inventory reply — the catch-up opener a
+// SyncMsg solicits an immediate inventory reply — the catch-up opener a
 // restarted replica broadcasts (crash.go) instead of waiting for the
 // next periodic advertise round.
-type syncMsg struct{}
+type SyncMsg struct{}
 
 // EnableAntiEntropy starts the inventory/repair loop at every process of
 // the group: each process broadcasts its leaves every period time units,
@@ -66,11 +66,11 @@ func (p *Process) installAntiEntropy() {
 	// scheduled from crash/restart hooks, which run serially).
 	p.nw.AddShardSafeHandler(p.ID, func(m simnet.Message) {
 		switch msg := m.Payload.(type) {
-		case invMsg:
+		case InvMsg:
 			p.onInventory(m.From, msg)
-		case reqMsg:
+		case ReqMsg:
 			p.onRequest(m.From, msg)
-		case syncMsg:
+		case SyncMsg:
 			p.onSolicit(m.From)
 		}
 	})
@@ -86,7 +86,7 @@ func (p *Process) advertise() {
 	if len(leaves) == 0 {
 		return
 	}
-	p.nw.Broadcast(p.ID, invMsg{Leaves: leaves})
+	p.nw.Broadcast(p.ID, InvMsg{Leaves: leaves})
 }
 
 // onSolicit answers a catch-up solicit with a point-to-point inventory
@@ -96,13 +96,13 @@ func (p *Process) onSolicit(from int) {
 	if from == p.ID {
 		return
 	}
-	p.nw.Send(p.ID, from, invMsg{Leaves: p.tree.Leaves()})
+	p.nw.Send(p.ID, from, InvMsg{Leaves: p.tree.Leaves()})
 }
 
 // onInventory requests every advertised block this process does not hold
 // (missing ancestors are fetched transitively as the repaired blocks
 // arrive and their parents turn out to be unknown).
-func (p *Process) onInventory(from int, msg invMsg) {
+func (p *Process) onInventory(from int, msg InvMsg) {
 	if from == p.ID {
 		return
 	}
@@ -111,7 +111,7 @@ func (p *Process) onInventory(from int, msg invMsg) {
 			if p.mAEReq != nil {
 				p.mAEReq.Inc(p.ID)
 			}
-			p.nw.Send(p.ID, from, reqMsg{ID: id})
+			p.nw.Send(p.ID, from, ReqMsg{ID: id})
 		}
 	}
 	// Also repair the buffered orphans: their parents are missing.
@@ -120,7 +120,7 @@ func (p *Process) onInventory(from int, msg invMsg) {
 			if p.mAEReq != nil {
 				p.mAEReq.Inc(p.ID)
 			}
-			p.nw.Send(p.ID, from, reqMsg{ID: parent})
+			p.nw.Send(p.ID, from, ReqMsg{ID: parent})
 		}
 	}
 }
@@ -130,7 +130,7 @@ func (p *Process) onInventory(from int, msg invMsg) {
 // block-locator behaviour of real chain sync). The re-sends use the
 // ordinary UpdateMsg path, so the receiver records the receive/update
 // events the Update Agreement checker looks for.
-func (p *Process) onRequest(from int, msg reqMsg) {
+func (p *Process) onRequest(from int, msg ReqMsg) {
 	if from == p.ID || !p.tree.Has(msg.ID) {
 		return
 	}

@@ -184,7 +184,7 @@ func (g *Group) catchUp(sim *simnet.Sim, p *Process, plan CrashPlan, stats *Reco
 		stats.Retries++
 	}
 	lenAtSolicit := p.tree.Len()
-	p.nw.Broadcast(p.ID, syncMsg{})
+	p.nw.Broadcast(p.ID, SyncMsg{})
 	sim.Schedule(backoff, func() {
 		if p.Down() {
 			return

@@ -148,7 +148,7 @@ func TestCatchUpRetriesWhenInventoryLost(t *testing.T) {
 	// Drop inv replies to p2 until t=50 (past restart at 40 and the
 	// first backoff window), so the initial solicit is wasted.
 	g.Net.SetDrop(func(m simnet.Message) bool {
-		if _, ok := m.Payload.(invMsg); !ok {
+		if _, ok := m.Payload.(InvMsg); !ok {
 			return false
 		}
 		return m.To == 2 && sim.Now() < 50

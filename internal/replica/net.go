@@ -1,0 +1,52 @@
+package replica
+
+import "repro/internal/simnet"
+
+// Net is the message-layer contract a Process needs from whatever
+// carries its traffic: handler registration, point-to-point send,
+// broadcast, and the crash predicate. *simnet.Network satisfies it for
+// deterministic simulation; internal/transport provides live
+// implementations (in-process channels, TCP) so the same Process code
+// runs unchanged as a real concurrent deployment. Implementations must
+// deliver messages from one peer in send order (per-peer FIFO is what
+// the orphan-buffer bound and the anti-entropy segment repair assume).
+type Net interface {
+	// AddShardSafeHandler registers a delivery handler for process p.
+	// The "shard-safe" contract carries over from simnet: the handler
+	// touches only process p's state and sends only as p, so carriers
+	// may run handlers of different processes concurrently as long as
+	// each process's handlers run serially.
+	AddShardSafeHandler(p int, h simnet.Handler)
+	// Send queues payload from one process to another.
+	Send(from, to int, payload any)
+	// Broadcast queues payload from p to every other process.
+	Broadcast(from int, payload any)
+	// Down reports whether process p is currently crashed.
+	Down(p int) bool
+}
+
+// InstallAntiEntropy registers the inventory/repair (inv/req/sync)
+// handlers for this process without scheduling any periodic timers —
+// the entry point for live deployments, whose timers are wall-clock
+// and owned by the transport layer. Idempotent.
+func (p *Process) InstallAntiEntropy() { p.installAntiEntropy() }
+
+// SolicitSync broadcasts a catch-up solicit: every peer answers with a
+// point-to-point inventory of its leaves, and this process pulls what
+// it is missing through the ordinary inv/req repair path. A restarted
+// live node calls this (with transport-level retry backoff) to rejoin.
+func (p *Process) SolicitSync() {
+	if p.Down() {
+		return
+	}
+	p.nw.Broadcast(p.ID, SyncMsg{})
+}
+
+// Advertise broadcasts this process's current leaves — one round of the
+// periodic anti-entropy loop, exposed so live deployments can drive it
+// from wall-clock tickers.
+func (p *Process) Advertise() { p.advertise() }
+
+// TreeLen reports the number of blocks attached to the local replica
+// (genesis included) — the progress measure live catch-up polls.
+func (p *Process) TreeLen() int { return p.tree.Len() }

@@ -71,7 +71,7 @@ type Process struct {
 	// replica with forged blocks. Defaults to AlwaysValid.
 	P core.Predicate
 
-	nw   *simnet.Network
+	nw   Net
 	tree *core.Tree
 
 	// rejected counts invalid blocks dropped by P.
@@ -112,10 +112,11 @@ type Process struct {
 	mFlood, mOrphan, mDup, mAEReq *metrics.CounterVec
 }
 
-// NewProcess creates replica id over network nw. The handler for the
+// NewProcess creates replica id over network nw — a *simnet.Network in
+// simulation, a transport.Node in live deployments. The handler for the
 // process is installed on the network; protocol layers that need their
 // own messages should multiplex through SetAuxHandler.
-func NewProcess(id int, nw *simnet.Network, f core.Selector, rec *history.Recorder, reg *Registry) *Process {
+func NewProcess(id int, nw Net, f core.Selector, rec *history.Recorder, reg *Registry) *Process {
 	if f == nil {
 		f = core.LongestChain{}
 	}

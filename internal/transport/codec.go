@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// The tcpNet wire format. Every frame is a 4-byte little-endian length
+// followed by a body of
+//
+//	kind byte | kind-specific fields
+//
+// with strings as uvarint length + bytes and integers as zigzag
+// varints — the same manual, reflection-free codec style as the block
+// payload encoding (core.EncodeTxs): no gob/json, no per-field
+// allocations on encode beyond the frame buffer itself.
+const (
+	frameUpdate byte = 1 // replica.UpdateMsg: one block
+	frameInv    byte = 2 // replica.InvMsg: leaf inventory
+	frameReq    byte = 3 // replica.ReqMsg: block request
+	frameSync   byte = 4 // replica.SyncMsg: catch-up solicit
+)
+
+// maxFrame bounds a decoded frame body (defense against a corrupt
+// length prefix on a real socket).
+const maxFrame = 1 << 24
+
+// appendString encodes s as uvarint length + bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendInt zigzag-encodes v.
+func appendInt(b []byte, v int) []byte {
+	return binary.AppendVarint(b, int64(v))
+}
+
+// appendBytes encodes p as uvarint length + bytes.
+func appendBytes(b []byte, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// AppendPayload encodes one carrier payload onto buf (no length
+// prefix; the frame writer adds it). Unknown payload types error —
+// the live replica stack only speaks update/inv/req/sync.
+func AppendPayload(buf []byte, payload any) ([]byte, error) {
+	switch m := payload.(type) {
+	case replica.UpdateMsg:
+		buf = append(buf, frameUpdate)
+		return appendBlock(buf, m.Block), nil
+	case replica.InvMsg:
+		buf = append(buf, frameInv)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Leaves)))
+		for _, id := range m.Leaves {
+			buf = appendString(buf, string(id))
+		}
+		return buf, nil
+	case replica.ReqMsg:
+		buf = append(buf, frameReq)
+		return appendString(buf, string(m.ID)), nil
+	case replica.SyncMsg:
+		return append(buf, frameSync), nil
+	default:
+		return nil, fmt.Errorf("transport: cannot encode payload %T", payload)
+	}
+}
+
+// appendBlock encodes every identity-bearing field of a block. Weight
+// and Token ride along so re-weighted and token-stamped blocks survive
+// the wire byte-exactly (the k-fork checker groups by Token).
+func appendBlock(buf []byte, b *core.Block) []byte {
+	buf = appendString(buf, string(b.ID))
+	buf = appendString(buf, string(b.Parent))
+	buf = appendInt(buf, b.Height)
+	buf = appendInt(buf, b.Creator)
+	buf = appendInt(buf, b.Round)
+	buf = appendInt(buf, b.Weight)
+	buf = appendBytes(buf, b.Payload)
+	buf = appendString(buf, string(b.Token))
+	return buf
+}
+
+// decoder walks a frame body.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: truncated frame at %s (offset %d of %d)", what, d.off, len(d.b))
+	}
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) str(what string) string {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) bytes(what string) []byte {
+	n := d.uvarint(what)
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail(what)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, d.b[d.off:])
+	d.off += int(n)
+	return p
+}
+
+// DecodePayload decodes one frame body back into the carrier payload.
+// Round-tripping is the identity for every payload AppendPayload
+// accepts (FuzzFrameCodec pins this).
+func DecodePayload(body []byte) (any, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("transport: empty frame")
+	}
+	d := &decoder{b: body, off: 1}
+	switch body[0] {
+	case frameUpdate:
+		b := decodeBlock(d)
+		if d.err != nil {
+			return nil, d.err
+		}
+		return replica.UpdateMsg{Parent: b.Parent, Block: b}, nil
+	case frameInv:
+		n := d.uvarint("inv count")
+		if n > uint64(len(body)) { // each leaf costs ≥1 byte
+			return nil, fmt.Errorf("transport: inventory count %d exceeds frame", n)
+		}
+		msg := replica.InvMsg{}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			msg.Leaves = append(msg.Leaves, core.BlockID(d.str("inv leaf")))
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		return msg, nil
+	case frameReq:
+		id := d.str("req id")
+		if d.err != nil {
+			return nil, d.err
+		}
+		return replica.ReqMsg{ID: core.BlockID(id)}, nil
+	case frameSync:
+		return replica.SyncMsg{}, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown frame kind %d", body[0])
+	}
+}
+
+func decodeBlock(d *decoder) *core.Block {
+	b := &core.Block{}
+	b.ID = core.BlockID(d.str("block id"))
+	b.Parent = core.BlockID(d.str("block parent"))
+	b.Height = int(d.varint("block height"))
+	b.Creator = int(d.varint("block creator"))
+	b.Round = int(d.varint("block round"))
+	b.Weight = int(d.varint("block weight"))
+	b.Payload = d.bytes("block payload")
+	b.Token = d.str("block token")
+	return b
+}

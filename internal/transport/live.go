@@ -1,0 +1,501 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/metrics"
+	"repro/internal/replica"
+	"repro/internal/tape"
+)
+
+// Profile is how one registered system produces blocks in a live
+// deployment: the selector/score/predicate triple its replicas run,
+// the paper row it claims, and the oracle-backed mint that turns an
+// append attempt into a block (or a lost lottery). Each protocol
+// package exports a LiveProfile constructor building this from its
+// simulation config, so the live path reuses the exact oracle, scores
+// and validity the simulated path measures.
+type Profile struct {
+	System         string
+	Selector       core.Selector
+	Score          core.Score
+	Predicate      core.Predicate
+	OracleClaim    string
+	PaperCriterion string
+	// Sequencer routes every append through node 0 — the
+	// ordering-service shape of the frugal k=1 family (Fabric's
+	// orderer, the BFT-chain leader, Algorand's per-height proposer
+	// collapse onto the one node that may consume the height token).
+	Sequencer bool
+	// Mint runs the oracle lottery for an append attempt at proc on
+	// parent; seq is a globally unique attempt number (the live
+	// equivalent of the mining round). nil means the lottery was lost:
+	// the attempt failed before any operation began, so nothing is
+	// recorded — exactly a getToken miss in the simulators.
+	Mint func(proc int, parent *core.Block, seq int) *core.Block
+}
+
+// CrashSpec schedules one crash/restart during the load phase — the
+// live counterpart of a simnet.CrashWindow.
+type CrashSpec struct {
+	// Node to crash. In sequencer profiles (and the default
+	// single-writer load policy) node 0 is the writer; crashing a
+	// reader exercises rejoin without halting the load.
+	Node int
+	// After is the delay from load start to the crash; Downtime is the
+	// crash window length.
+	After    time.Duration
+	Downtime time.Duration
+	// Durable selects snapshot/restore recovery; false means amnesia.
+	Durable bool
+}
+
+// LiveConfig parameterizes a deployment run.
+type LiveConfig struct {
+	// Transport names the carrier: "chan" (default) or "tcp".
+	Transport string
+	// N is the node count; Seed drives the oracle and load shuffling;
+	// Merits are the normalized α_p column (nil = uniform).
+	N      int
+	Seed   uint64
+	Merits []tape.Merit
+	// Addrs are carrier addresses (tcp; empty = loopback auto-ports).
+	Addrs []string
+
+	// Clients is the number of concurrent load generators (default 2).
+	Clients int
+	// Rate is the per-client target append rate per second; 0 means
+	// closed-loop (each client submits as soon as the last completes).
+	Rate float64
+	// Duration bounds the load phase in wall time; MaxAppends bounds
+	// it in granted appends. The phase ends at whichever comes first;
+	// at least one must be set.
+	Duration   time.Duration
+	MaxAppends int64
+	// ReadsPerAppend is how many reads each client issues, rotating
+	// across nodes, after every append attempt (default 2).
+	ReadsPerAppend int
+	// Spray round-robins append attempts across all nodes instead of
+	// the default single-writer policy (node 0). Spraying a prodigal
+	// system creates real fork pressure: concurrent miners extend
+	// concurrent parents, so StrongPrefix may genuinely break — the
+	// same reason the paper classifies those systems EC, not SC.
+	Spray bool
+
+	// Crash, when set, schedules one crash/restart during the load.
+	Crash *CrashSpec
+
+	// K, when > 0, adds the k-Fork Coherence report to the result.
+	K int
+	// OnWitness streams every live violation witness as the monitor
+	// forms it (called from the monitor consumer goroutine).
+	OnWitness func(consistency.Witness)
+	// AsyncBuf is the monitor queue bound (0 = history default).
+	AsyncBuf int
+
+	// AEPeriod is the anti-entropy advertise interval (default 250ms).
+	AEPeriod time.Duration
+	// SettleTimeout caps the post-load convergence wait (default 10s).
+	SettleTimeout time.Duration
+}
+
+func (c *LiveConfig) norm() error {
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 2
+	}
+	if c.ReadsPerAppend < 0 {
+		c.ReadsPerAppend = 0
+	} else if c.ReadsPerAppend == 0 {
+		c.ReadsPerAppend = 2
+	}
+	if c.Duration <= 0 && c.MaxAppends <= 0 {
+		return fmt.Errorf("transport: live run needs a Duration or a MaxAppends budget")
+	}
+	if c.AEPeriod <= 0 {
+		c.AEPeriod = 250 * time.Millisecond
+	}
+	if c.SettleTimeout <= 0 {
+		c.SettleTimeout = 10 * time.Second
+	}
+	if c.Crash != nil {
+		if c.Crash.Node < 0 || c.Crash.Node >= c.N {
+			return fmt.Errorf("transport: crash node %d out of range [0,%d)", c.Crash.Node, c.N)
+		}
+		if c.Crash.After <= 0 {
+			c.Crash.After = 200 * time.Millisecond
+		}
+		if c.Crash.Downtime <= 0 {
+			c.Crash.Downtime = 300 * time.Millisecond
+		}
+	}
+	return nil
+}
+
+// LiveResult is what a deployment run measures: sustained throughput,
+// client-observed latency quantiles, the online monitor's verdicts,
+// and the raw material (history, trees, creators) the batch checkers
+// and renderers consume — so everything that works on a simulated
+// result works on a live one.
+type LiveResult struct {
+	System    string
+	Transport string
+	N         int
+
+	// Elapsed is the measured load-phase wall time; Settle the
+	// post-load convergence wait.
+	Elapsed time.Duration
+	Settle  time.Duration
+
+	// Attempts counts append submissions; AppendsOK the granted ones
+	// (attempts minus lost lotteries minus submissions at a crashed
+	// node); Reads the completed read operations.
+	Attempts  int64
+	AppendsOK int64
+	Reads     int64
+	// AppendsPerSec / ReadsPerSec are sustained over Elapsed.
+	AppendsPerSec float64
+	ReadsPerSec   float64
+
+	// AppendLatUS / ReadLatUS are client-observed operation latencies
+	// in microseconds (submit → response through the node event loop).
+	AppendLatUS metrics.HistSnapshot
+	ReadLatUS   metrics.HistSnapshot
+	// Metrics is the live registry snapshot (counters, histograms,
+	// wall-clock timing section).
+	Metrics *metrics.Snapshot
+
+	// SC/EC are the online monitor's finalized verdicts; KFork is the
+	// optional k-fork coherence report; LiveWitnesses counts witnesses
+	// streamed while the run was still going.
+	SC, EC        *consistency.Verdict
+	KFork         *consistency.Report
+	LiveWitnesses int
+	MonitorStats  consistency.MonitorStats
+	// MonitorErr is non-nil when the online monitor's consumer failed
+	// mid-run (AsyncSink panic recovery); the verdicts are then not
+	// trustworthy.
+	MonitorErr error
+
+	// Recovery carries the crash/rejoin counters when a CrashSpec ran.
+	Recovery *replica.RecoveryStats
+
+	// Sent/Delivered are carrier frame counters; DroppedDown counts
+	// deliveries dropped at crashed nodes; Converged reports whether
+	// every replica reached the same tree size before SettleTimeout.
+	Sent, Delivered int64
+	DroppedDown     int64
+	Converged       bool
+
+	// History, Trees, Creators mirror a protocols.Result's evidence.
+	History  *history.History
+	Trees    []*core.Tree
+	Creators map[core.BlockID]int
+}
+
+// Violated lists the property names any verdict reports broken.
+func (r *LiveResult) Violated() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range []*consistency.Verdict{r.SC, r.EC} {
+		if v == nil {
+			continue
+		}
+		for _, rep := range v.Reports {
+			if !rep.OK && !seen[rep.Property] {
+				seen[rep.Property] = true
+				out = append(out, rep.Property)
+			}
+		}
+	}
+	if r.KFork != nil && !r.KFork.OK {
+		out = append(out, r.KFork.Property)
+	}
+	return out
+}
+
+// statser is the carrier-side counter pair both carriers expose.
+type statser interface {
+	Stats() (sent, delivered int64)
+}
+
+// Run deploys N nodes of the profiled system over the configured
+// carrier, drives the client load with the online monitor attached,
+// waits for convergence, and finalizes.
+func Run(cfg LiveConfig, prof Profile) (*LiveResult, error) {
+	if err := cfg.norm(); err != nil {
+		return nil, err
+	}
+	roster := NewRoster(cfg.N, cfg.Merits, cfg.Addrs)
+	tr, err := New(cfg.Transport, roster)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	clock := func() int64 { return time.Since(start).Microseconds() }
+
+	// The shared recorder is the sequencing collector: every node
+	// records into it, its mutex totally orders the op feed, and the
+	// AsyncSink replays that order into the monitor off the hot path.
+	rec := history.NewRecorder(cfg.N, clock)
+	reg := replica.NewRegistry()
+	mon := consistency.NewMonitor(consistency.MonitorConfig{
+		Procs:     cfg.N,
+		Score:     prof.Score,
+		P:         prof.Predicate,
+		K:         cfg.K,
+		Table:     rec.Table(),
+		OnWitness: cfg.OnWitness,
+	})
+	async := history.NewAsyncSink(mon, cfg.AsyncBuf)
+	rec.SetSink(async)
+
+	mreg := metrics.New(0)
+	mreg.SetClock(clock)
+	latBounds := []int64{2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+		5000, 10000, 20000, 50000, 100000, 200000, 500000, 1000000,
+		2000000, 5000000}
+	appendHist := mreg.Histogram("live.append.us", latBounds...)
+	readHist := mreg.Histogram("live.read.us", latBounds...)
+	cAttempts := mreg.Counter("live.append.attempts")
+	cGrants := mreg.Counter("live.append.granted")
+	cReads := mreg.Counter("live.reads")
+
+	// Build the nodes: listen, host a process, install repair
+	// handlers, dial the mesh, then start the event loops.
+	nodes := make([]*Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		n, err := NewNode(i, tr)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		proc := replica.NewProcess(i, n, prof.Selector, rec, reg)
+		if prof.Predicate != nil {
+			proc.P = prof.Predicate
+		}
+		proc.InstallAntiEntropy()
+		n.Proc = proc
+		nodes[i] = n
+	}
+	for i := range nodes {
+		if err := tr.Dial(i); err != nil {
+			tr.Close()
+			return nil, err
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+		scheduleAdvertise(n, cfg.AEPeriod)
+	}
+
+	// Load phase, with the optional crash/restart riding alongside.
+	lg := newLoadGen(cfg, prof, nodes, loadInstruments{
+		appendHist: appendHist, readHist: readHist,
+	})
+	var recovery *replica.RecoveryStats
+	var crashDone chan struct{}
+	if cfg.Crash != nil {
+		recovery = &replica.RecoveryStats{}
+		crashDone = make(chan struct{})
+		go runCrash(cfg.Crash, nodes[cfg.Crash.Node], recovery, crashDone)
+	}
+	loadStart := time.Now()
+	lg.run()
+	elapsed := time.Since(loadStart)
+	if crashDone != nil {
+		// The window may outlast a short load phase; rejoin must
+		// complete before convergence is meaningful.
+		select {
+		case <-crashDone:
+		case <-time.After(cfg.SettleTimeout + cfg.Crash.After + cfg.Crash.Downtime):
+			return nil, fmt.Errorf("transport: crash/restart did not complete")
+		}
+	}
+
+	// Settle: every replica at the same tree size, all inboxes empty,
+	// nothing in flight — twice in a row.
+	settleStart := time.Now()
+	converged := settle(nodes, tr, cfg.SettleTimeout)
+	settleDur := time.Since(settleStart)
+
+	// Final convergent reads (two rounds, as the simulators take).
+	for round := 0; round < 2; round++ {
+		for _, n := range nodes {
+			n.Do(func() { n.Proc.Read() })
+		}
+	}
+
+	// Teardown: stop the loops (cancelling wall-clock timers), close
+	// the carrier, then drain the monitor queue.
+	for _, n := range nodes {
+		n.Stop()
+	}
+	tr.Close()
+	monErr := async.Drain()
+	for _, op := range rec.PendingOps() {
+		mon.OpPending(op)
+	}
+	sc, ec := mon.Finalize()
+
+	res := &LiveResult{
+		System:    prof.System,
+		Transport: tr.Name(),
+		N:         cfg.N,
+		Elapsed:   elapsed,
+		Settle:    settleDur,
+		SC:        sc,
+		EC:        ec,
+		Converged: converged,
+		Recovery:  recovery,
+		History:   rec.Snapshot(),
+		Creators:  reg.Creators(),
+	}
+	if cfg.K > 0 {
+		res.KFork = mon.KForkReport(cfg.K)
+	}
+	res.LiveWitnesses = mon.LiveWitnesses()
+	res.MonitorStats = mon.Stats()
+	res.MonitorErr = monErr
+	res.Attempts, res.AppendsOK, res.Reads = lg.totals()
+	cAttempts.Add(res.Attempts)
+	cGrants.Add(res.AppendsOK)
+	cReads.Add(res.Reads)
+	if s := elapsed.Seconds(); s > 0 {
+		res.AppendsPerSec = float64(res.AppendsOK) / s
+		res.ReadsPerSec = float64(res.Reads) / s
+	}
+	if st, ok := tr.(statser); ok {
+		res.Sent, res.Delivered = st.Stats()
+	}
+	for _, n := range nodes {
+		res.DroppedDown += n.droppedDown
+		res.Trees = append(res.Trees, n.Proc.Tree().Clone())
+	}
+	mreg.AddTiming("live.elapsed.us", elapsed.Microseconds())
+	mreg.AddTiming("live.settle.us", settleDur.Microseconds())
+	high, blocked, _ := async.QueueStats()
+	mreg.AddTiming("live.monitor.queue.highwater", int64(high))
+	mreg.AddTiming("live.monitor.queue.blocked", blocked)
+	res.Metrics = mreg.Snapshot()
+	for _, h := range res.Metrics.Hists {
+		switch h.Name {
+		case "live.append.us":
+			res.AppendLatUS = h
+		case "live.read.us":
+			res.ReadLatUS = h
+		}
+	}
+	return res, nil
+}
+
+// scheduleAdvertise drives the periodic anti-entropy inventory round
+// on the node's own wall-clock timer (the live stand-in for
+// Group.EnableAntiEntropy's virtual-time schedule).
+func scheduleAdvertise(n *Node, period time.Duration) {
+	var tick func()
+	tick = func() {
+		n.Proc.Advertise() // no-op while crashed
+		n.After(period, tick)
+	}
+	n.After(period, tick)
+}
+
+// runCrash executes one crash window against a node: snapshot (when
+// durable) + down, wait, restore/reset + up, then catch up through
+// anti-entropy solicits with doubling wall-clock backoff, mirroring
+// Group.catchUp.
+func runCrash(spec *CrashSpec, n *Node, stats *replica.RecoveryStats, done chan struct{}) {
+	time.Sleep(spec.After)
+	stats.Crashes++
+	snap := n.crash(spec.Durable)
+	time.Sleep(spec.Downtime)
+	stats.Restarts++
+	n.restart(snap)
+	var lenAtRestart int
+	n.Do(func() {
+		if spec.Durable && snap != nil {
+			stats.DurableRestores++
+		} else {
+			stats.AmnesiaResets++
+		}
+		lenAtRestart = n.Proc.TreeLen()
+	})
+
+	// Catch-up with bounded retries; completion closes done.
+	const maxRetries = 3
+	var attempt func(k int, backoff time.Duration)
+	attempt = func(k int, backoff time.Duration) {
+		var lenAtSolicit int
+		n.Do(func() {
+			stats.Solicits++
+			if k > 0 {
+				stats.Retries++
+			}
+			lenAtSolicit = n.Proc.TreeLen()
+			n.Proc.SolicitSync()
+		})
+		n.After(backoff, func() {
+			progressed := n.Proc.TreeLen() > lenAtSolicit && n.Proc.PendingCount() == 0
+			if progressed || k+1 >= maxRetries {
+				stats.ResyncBlocks += n.Proc.TreeLen() - lenAtRestart
+				close(done)
+				return
+			}
+			go attempt(k+1, backoff*2)
+		})
+	}
+	attempt(0, 100*time.Millisecond)
+}
+
+// settle polls until every node reports the same tree size with empty
+// inboxes and an idle carrier, twice in a row, or the timeout passes.
+func settle(nodes []*Node, tr Transport, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	for time.Now().Before(deadline) {
+		if deploymentQuiesced(nodes, tr) {
+			stable++
+			if stable >= 2 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+// deploymentQuiesced reports one idle-and-converged observation.
+func deploymentQuiesced(nodes []*Node, tr Transport) bool {
+	if st, ok := tr.(statser); ok {
+		sent, delivered := st.Stats()
+		if sent != delivered {
+			return false
+		}
+	}
+	size := -1
+	for _, n := range nodes {
+		if n.q.depth() > 0 {
+			return false
+		}
+		var l int
+		if !n.Do(func() { l = n.Proc.TreeLen() }) {
+			return false
+		}
+		if size == -1 {
+			size = l
+		} else if l != size {
+			return false
+		}
+	}
+	return true
+}

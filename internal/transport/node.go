@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/simnet"
+)
+
+// event is one unit of work for a node's event loop: either a
+// transport delivery (isMsg) or a closure (client operation, timer
+// callback, crash/restart control).
+type event struct {
+	msg   Message
+	fn    func()
+	isMsg bool
+}
+
+// Node hosts one replica.Process as an actor: a single event-loop
+// goroutine owns the process, and every touch — message delivery,
+// client append/read, wall-clock timer, crash control — is an event
+// executed serially by that loop. Node implements replica.Net, so the
+// Process floods and repairs through the live Transport with the same
+// code paths the simulator drives.
+type Node struct {
+	ID   int
+	Proc *replica.Process
+
+	tr Transport
+	q  *queue[event]
+	wg sync.WaitGroup
+
+	// handlers are the process's registered delivery handlers
+	// (replica + anti-entropy). Registered at setup, before the loop
+	// starts; read-only afterwards.
+	handlers []simnet.Handler
+
+	// down is the live crash flag: while set, inbound deliveries are
+	// dropped and the process neither sends nor operates (replica.Net
+	// Down plumbs it into every Process guard).
+	down atomic.Bool
+
+	// droppedDown counts deliveries dropped while crashed (loop-only).
+	droppedDown int64
+
+	// timers tracks pending wall-clock callbacks so Stop can cancel
+	// them (a fired timer merely enqueues; the loop runs it).
+	timersMu sync.Mutex
+	timers   map[*time.Timer]struct{}
+	stopped  bool
+}
+
+// NewNode creates node id over the carrier and registers its delivery
+// callback. The caller then builds the replica.Process over the node
+// (NewProcess registers the handler through AddShardSafeHandler),
+// dials, and calls Start.
+func NewNode(id int, tr Transport) (*Node, error) {
+	n := &Node{ID: id, tr: tr, q: newQueue[event](), timers: make(map[*time.Timer]struct{})}
+	if err := tr.Listen(id, n.deliver); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// deliver enqueues a carrier delivery (called from carrier goroutines
+// or peer node loops; non-blocking).
+func (n *Node) deliver(m Message) { n.q.push(event{msg: m, isMsg: true}) }
+
+// Start launches the event loop. Call after every handler is
+// registered and the carrier is dialed.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.loop()
+}
+
+// Stop cancels pending timers, closes the inbox and waits for the
+// loop to drain what was already queued.
+func (n *Node) Stop() {
+	n.timersMu.Lock()
+	n.stopped = true
+	for t := range n.timers {
+		t.Stop()
+	}
+	n.timers = nil
+	n.timersMu.Unlock()
+	n.q.close()
+	n.wg.Wait()
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		e, ok := n.q.pop()
+		if !ok {
+			return
+		}
+		if e.isMsg {
+			if n.down.Load() {
+				n.droppedDown++ // deliveries to a crashed node are lost
+				continue
+			}
+			for _, h := range n.handlers {
+				h(e.msg)
+			}
+			continue
+		}
+		e.fn()
+	}
+}
+
+// Do executes fn on the node's event loop and waits for it — the
+// synchronous entry point client load and deployment control use. It
+// reports false (without running fn) when the node has stopped.
+func (n *Node) Do(fn func()) bool {
+	done := make(chan struct{})
+	if !n.q.push(event{fn: func() { defer close(done); fn() }}) {
+		return false
+	}
+	<-done
+	return true
+}
+
+// After schedules fn to run on the event loop d from now. The timer is
+// cancelled by Stop; a callback racing Stop finds the queue closed and
+// is dropped.
+func (n *Node) After(d time.Duration, fn func()) {
+	n.timersMu.Lock()
+	if n.stopped {
+		n.timersMu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		n.timersMu.Lock()
+		delete(n.timers, t)
+		n.timersMu.Unlock()
+		n.q.push(event{fn: fn})
+	})
+	n.timers[t] = struct{}{}
+	n.timersMu.Unlock()
+}
+
+// --- replica.Net ---
+
+// AddShardSafeHandler registers a delivery handler. The shard-safety
+// contract maps onto the actor model directly: the handler touches
+// only this node's process, and the single event loop serializes it.
+func (n *Node) AddShardSafeHandler(_ int, h simnet.Handler) {
+	n.handlers = append(n.handlers, h)
+}
+
+// Send forwards a point-to-point message; a crashed node sends
+// nothing (defense in depth — Process guards on Down first).
+func (n *Node) Send(from, to int, payload any) {
+	if n.down.Load() {
+		return
+	}
+	_ = n.tr.Send(from, to, payload)
+}
+
+// Broadcast floods to every node, loopback included (the recorded
+// receive of one's own send is LRC Validity, as in simnet).
+func (n *Node) Broadcast(from int, payload any) {
+	if n.down.Load() {
+		return
+	}
+	_ = n.tr.Broadcast(from, payload)
+}
+
+// Down reports the live crash flag.
+func (n *Node) Down(int) bool { return n.down.Load() }
+
+// --- crash / restart (deployment control; see live.go) ---
+
+// crash opens a crash window on the node's loop: the process stops
+// operating and inbound deliveries are dropped. When durable, the
+// replica state is snapshotted first (crash-consistent: the loop is
+// between events). Returns the snapshot (nil under amnesia).
+func (n *Node) crash(durable bool) *replica.Snapshot {
+	var snap *replica.Snapshot
+	n.Do(func() {
+		if durable {
+			snap = n.Proc.Snapshot()
+		}
+		n.down.Store(true)
+	})
+	return snap
+}
+
+// restart closes the crash window: restore the snapshot (durable) or
+// reset to genesis (amnesia), then rejoin. Catch-up runs through the
+// anti-entropy layer with wall-clock retry backoff (live.go).
+func (n *Node) restart(snap *replica.Snapshot) {
+	n.Do(func() {
+		if snap != nil {
+			n.Proc.Restore(snap)
+		} else {
+			n.Proc.Reset()
+		}
+		n.down.Store(false)
+	})
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+func TestQueueFIFOAndClose(t *testing.T) {
+	q := newQueue[int]()
+	for i := 0; i < 1000; i++ {
+		if !q.push(i) {
+			t.Fatalf("push %d rejected before close", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := q.pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d, %v)", i, v, ok)
+		}
+	}
+	q.push(42)
+	q.close()
+	if q.push(43) {
+		t.Fatal("push accepted after close")
+	}
+	if v, ok := q.pop(); !ok || v != 42 {
+		t.Fatalf("close dropped the queued element: (%d, %v)", v, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded on a drained closed queue")
+	}
+}
+
+// carrierFIFO drives n0 → n1 with a burst of distinguishable frames and
+// asserts per-pair FIFO delivery end to end.
+func carrierFIFO(t *testing.T, name string) {
+	t.Helper()
+	const total = 500
+	roster := NewRoster(2, nil, nil)
+	tr, err := New(name, roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	var mu sync.Mutex
+	var got []core.BlockID
+	done := make(chan struct{})
+	if err := tr.Listen(0, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	err = tr.Listen(1, func(m Message) {
+		req, ok := m.Payload.(replica.ReqMsg)
+		if !ok {
+			t.Errorf("unexpected payload %T", m.Payload)
+			return
+		}
+		mu.Lock()
+		got = append(got, req.ID)
+		if len(got) == total {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		if err := tr.Dial(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if err := tr.Send(0, 1, replica.ReqMsg{ID: core.BlockID(fmt.Sprintf("b%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for i, id := range got {
+		if want := core.BlockID(fmt.Sprintf("b%d", i)); id != want {
+			t.Fatalf("delivery %d: got %s, want %s (FIFO broken)", i, id, want)
+		}
+	}
+}
+
+func TestChanNetFIFO(t *testing.T) { carrierFIFO(t, "chan") }
+func TestTCPNetFIFO(t *testing.T)  { carrierFIFO(t, "tcp") }
+
+// TestTCPNetRoundTrip sends a full update (block payload) both ways over
+// real sockets and checks content fidelity plus the Stats counters.
+func TestTCPNetRoundTrip(t *testing.T) {
+	roster := NewRoster(2, nil, nil)
+	tr, err := New("tcp", roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	blk := core.NewBlock("b0", 1, 1, 7, []byte{9, 8, 7}).WithToken("tok(b0)")
+	recv := make([]chan replica.UpdateMsg, 2)
+	for id := 0; id < 2; id++ {
+		id := id
+		recv[id] = make(chan replica.UpdateMsg, 1)
+		err := tr.Listen(id, func(m Message) {
+			if up, ok := m.Payload.(replica.UpdateMsg); ok {
+				recv[id] <- up
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < 2; id++ {
+		if err := tr.Dial(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Send(0, 1, replica.UpdateMsg{Parent: blk.Parent, Block: blk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, 0, replica.UpdateMsg{Parent: blk.Parent, Block: blk}); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 2; id++ {
+		up := <-recv[id]
+		if up.Block.ID != blk.ID || up.Block.Token != blk.Token ||
+			up.Block.Height != blk.Height || string(up.Block.Payload) != string(blk.Payload) {
+			t.Fatalf("node %d: block mangled in transit: %+v", id, up.Block)
+		}
+	}
+	if sent, delivered := tr.(*tcpNet).Stats(); sent != 2 || delivered != 2 {
+		t.Fatalf("stats: sent=%d delivered=%d, want 2/2", sent, delivered)
+	}
+}
+
+func TestNewRejectsUnknownCarrier(t *testing.T) {
+	if _, err := New("smoke-signals", NewRoster(2, nil, nil)); err == nil {
+		t.Fatal("unknown carrier accepted")
+	}
+}
